@@ -1,0 +1,34 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every bench writes its formatted table/series to
+``benchmarks/results/<name>.txt`` (so results survive the run and feed
+EXPERIMENTS.md) and also prints it, visible with ``pytest -s``.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.harness import current_scale
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The experiment scale selected by REPRO_BENCH_SCALE."""
+    return current_scale()
+
+
+@pytest.fixture(scope="session")
+def report():
+    """report(name, text): persist and print a bench's output."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _report(name: str, text: str) -> None:
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _report

@@ -1,0 +1,57 @@
+"""Ablation — DCWS vs the related-work architectures (paper section 2).
+
+Expected shapes:
+
+- the central TCP router caps aggregate throughput at the router's own
+  capacity no matter how many backends exist (the bottleneck the paper's
+  introduction calls out);
+- round-robin DNS matches DCWS throughput on a hot-spot-free data set but
+  pays N-fold storage (full replication), DCWS stores each document once.
+"""
+
+import pytest
+
+from repro.bench.figures import ablation_baselines
+
+
+@pytest.fixture(scope="module")
+def result(scale):
+    return ablation_baselines(scale, datasets=("lod",), server_counts=(2, 8))
+
+
+def test_baselines_regenerate(benchmark, result, report):
+    benchmark.pedantic(lambda: None, rounds=1)
+    report("ablation_baselines", result.format())
+
+
+def test_dcws_scales_past_router(result):
+    dcws_8 = result.steady_cps_of("lod", "dcws", 8)
+    router_8 = result.steady_cps_of("lod", "tcp-router", 8)
+    assert dcws_8 > router_8 * 1.3, (
+        f"DCWS {dcws_8:.0f} vs router {router_8:.0f}")
+
+
+def test_router_gains_little_from_servers(result):
+    router_2 = result.steady_cps_of("lod", "tcp-router", 2)
+    router_8 = result.steady_cps_of("lod", "tcp-router", 8)
+    dcws_gain = result.steady_cps_of("lod", "dcws", 8) / \
+        result.steady_cps_of("lod", "dcws", 2)
+    router_gain = router_8 / router_2
+    assert router_gain < dcws_gain
+
+
+def test_dcws_storage_is_one_copy(result):
+    storage = {(system, servers): value
+               for __, system, servers, __, __, value in result.rows}
+    assert storage[("dcws", 8)] == storage[("dcws", 2)]
+    assert storage[("rr-dns", 8)] == pytest.approx(
+        4 * storage[("rr-dns", 2)], rel=0.01)
+    assert storage[("rr-dns", 8)] == pytest.approx(
+        8 * storage[("dcws", 8)], rel=0.01)
+
+
+def test_rr_dns_competitive_without_hot_spots(result):
+    # On LOD both spread load; RR-DNS should be within 2x of DCWS.
+    rr = result.steady_cps_of("lod", "rr-dns", 8)
+    dcws = result.steady_cps_of("lod", "dcws", 8)
+    assert rr > dcws * 0.5

@@ -1,0 +1,46 @@
+"""Ablation — bookmark / access-log-replay traffic (sections 4.4, 6).
+
+A synthesized access log (pre-migration URLs, the way bookmarks and
+search-engine indexes address a site) is replayed against a warmed
+cluster while ordinary walkers browse.  Shape claims:
+
+- stale URLs still succeed — the home answers 301 and the co-op serves;
+- the redirect fraction is substantial on a warmed cluster (most
+  documents have migrated) but every request completes;
+- the concurrent walker population keeps its throughput.
+"""
+
+import pytest
+
+from repro.bench.figures import ablation_bookmarks
+
+
+@pytest.fixture(scope="module")
+def result(scale):
+    return ablation_bookmarks(scale)
+
+
+def test_bookmarks_regenerate(benchmark, result, report):
+    benchmark.pedantic(lambda: None, rounds=1)
+    report("ablation_bookmarks", result.format())
+
+
+def test_replay_traffic_flows(result):
+    assert result.replay_requests > 100
+
+
+def test_stale_urls_redirect_then_succeed(result):
+    assert result.replay_redirected > 0
+    # Every stale request completes (redirects terminate in 200s).
+    assert result.replay_succeeded + result.replay_redirected >= \
+        result.replay_requests * 0.95
+
+
+def test_redirects_common_on_warmed_cluster(result):
+    # With ~3/4 of documents migrated, a large share of original-URL
+    # requests must bounce through a 301.
+    assert result.redirect_fraction > 0.2
+
+
+def test_walkers_unharmed(result):
+    assert result.walker_cps > 0

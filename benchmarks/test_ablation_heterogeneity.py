@@ -1,0 +1,44 @@
+"""Ablation — heterogeneous server speeds (motivated by section 2).
+
+Half the servers run at half speed.  Findings this bench reproduces and
+extends:
+
+- plain DCWS *degrades* under heterogeneity: its CPS load metric reads a
+  slow machine's low throughput as idleness, steers documents there, and
+  the machine sheds load (an honest limitation — the paper defers
+  heterogeneous environments to future work, section 6);
+- the drop-pressure extension (advertising dropped connections as load)
+  recovers most of the loss, beating plain DCWS on the same hardware.
+"""
+
+import pytest
+
+from repro.bench.figures import ablation_heterogeneity
+
+
+@pytest.fixture(scope="module")
+def result(scale):
+    return ablation_heterogeneity(scale)
+
+
+def test_heterogeneity_regenerate(benchmark, result, report):
+    benchmark.pedantic(lambda: None, rounds=1)
+    report("ablation_heterogeneity", result.format())
+
+
+def test_heterogeneity_hurts_plain_dcws(result):
+    homo = result.cps_of("homogeneous", "dcws")
+    hetero = result.cps_of("heterogeneous", "dcws")
+    assert hetero < homo
+
+
+def test_drop_pressure_recovers(result):
+    plain = result.cps_of("heterogeneous", "dcws")
+    with_dp = result.cps_of("heterogeneous", "dcws+droppressure")
+    assert with_dp > plain
+
+
+def test_drop_pressure_harmless_when_homogeneous(result):
+    plain = result.cps_of("homogeneous", "dcws")
+    with_dp = result.cps_of("homogeneous", "dcws+droppressure")
+    assert with_dp > plain * 0.85

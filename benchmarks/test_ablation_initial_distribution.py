@@ -1,0 +1,44 @@
+"""Ablation — initial data distribution (paper future work, section 6).
+
+Same cluster, three starting placements: *balanced* round-robin (the
+converged state), *cold* (everything at home, Figure 8's start), and
+*skewed* (everything piled onto one co-op).  Shape claims: balanced is
+the throughput ceiling; both degenerate starts begin at roughly
+single-server capacity and climb as the rate-limited migration machinery
+redistributes documents — initial distribution matters exactly as the
+paper conjectures.
+"""
+
+import pytest
+
+from repro.bench.figures import ablation_initial_distribution
+
+
+@pytest.fixture(scope="module")
+def result(scale):
+    return ablation_initial_distribution(scale)
+
+
+def test_initial_distribution_regenerate(benchmark, result, report):
+    benchmark.pedantic(lambda: None, rounds=1)
+    report("ablation_initial_distribution", result.format())
+
+
+def test_balanced_is_the_ceiling(result):
+    balanced = result.row("balanced")[2]
+    assert balanced > result.row("cold")[2]
+    assert balanced > result.row("skewed")[2]
+
+
+def test_degenerate_starts_near_single_server_capacity(result):
+    balanced = result.row("balanced")[1]
+    for distribution in ("cold", "skewed"):
+        early = result.row(distribution)[1]
+        assert early < balanced * 0.5
+
+
+def test_recovery_in_progress(result):
+    # Both degenerate starts improve from their early window to the end.
+    for distribution in ("cold", "skewed"):
+        __, early, __, final = result.row(distribution)
+        assert final > early

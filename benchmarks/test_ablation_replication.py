@@ -1,0 +1,31 @@
+"""Ablation — hot-spot replication (the paper's future work, section 6).
+
+The paper conjectures "the only way to get around this problem is to
+adopt replication of hot spots".  This bench enables the replication
+extension on the hot-spot data set (SBLog) and verifies it lifts the
+single-co-op ceiling the prototype hits in Figure 7.
+"""
+
+import pytest
+
+from repro.bench.figures import ablation_replication
+
+
+@pytest.fixture(scope="module")
+def result(scale):
+    return ablation_replication(scale, dataset="sblog", servers=8)
+
+
+def test_replication_regenerate(benchmark, result, report):
+    benchmark.pedantic(lambda: None, rounds=1)
+    report("ablation_replication", result.format())
+
+
+def test_replication_happened(result):
+    assert result.replications > 0
+
+
+def test_replication_raises_hot_spot_ceiling(result):
+    assert result.gain > 1.05, (
+        f"replication gain only {result.gain:.2f}x "
+        f"({result.cps_without:.0f} -> {result.cps_with:.0f} CPS)")

@@ -1,0 +1,39 @@
+"""Ablation — Algorithm 1's selection heuristics (steps 4-5).
+
+Compares the paper's selection (minimal remote LinkFrom, then minimal
+LinkTo) against "hottest-first" and "random" on a cold start.  The
+locality heuristics exist to reduce hyperlink-update churn: fewer referrer
+regenerations for comparable balancing throughput.
+"""
+
+import pytest
+
+from repro.bench.figures import ablation_selection
+
+
+@pytest.fixture(scope="module")
+def result(scale):
+    return ablation_selection(scale, dataset="mapug", servers=4)
+
+
+def test_selection_regenerate(benchmark, result, report):
+    benchmark.pedantic(lambda: None, rounds=1)
+    report("ablation_selection", result.format())
+
+
+def test_all_policies_balance(result):
+    for policy, cps, migrations, __ in result.rows:
+        assert cps > 0
+        assert migrations > 0, f"{policy} never migrated"
+
+
+def test_paper_policy_competitive_throughput(result):
+    by_policy = {row[0]: row[1] for row in result.rows}
+    best = max(by_policy.values())
+    assert by_policy["paper"] >= 0.7 * best
+
+
+def test_paper_policy_not_more_churn_than_random(result):
+    churn = {row[0]: row[3] / max(1, row[2]) for row in result.rows}
+    # Reconstructions per migration: Algorithm 1 should not be the worst.
+    assert churn["paper"] <= max(churn.values()) * 1.001

@@ -1,0 +1,37 @@
+"""Ablation — user think time (paper future work, section 6).
+
+The paper's custom benchmark used zero think time, so each simulated
+client exerts maximal pressure.  With human-scale think time each client
+demands far less; the same cluster therefore supports many more *users*
+at the same connection rate.  This bench quantifies that relationship.
+"""
+
+import pytest
+
+from repro.bench.figures import ablation_think_time
+
+
+@pytest.fixture(scope="module")
+def result(scale):
+    return ablation_think_time(scale)
+
+
+def test_think_time_regenerate(benchmark, result, report):
+    benchmark.pedantic(lambda: None, rounds=1)
+    report("ablation_think_time", result.format())
+
+
+def test_zero_think_time_maximizes_pressure(result):
+    by_think = {row[0]: row[1] for row in result.rows}
+    zero = by_think[0.0]
+    assert all(zero >= cps for cps in by_think.values())
+
+
+def test_per_client_demand_falls_with_think_time(result):
+    per_client = [row[2] for row in result.rows]  # ordered by think time
+    assert per_client == sorted(per_client, reverse=True)
+
+
+def test_longer_thinking_lowers_load_monotonically(result):
+    cps_values = [row[1] for row in result.rows]
+    assert cps_values == sorted(cps_values, reverse=True)

@@ -1,0 +1,48 @@
+"""Section 5.3 — CPS vs BPS across data sets.
+
+Paper shape: aggregate BPS ranks the data sets by mean document size
+(Sequoia > SBLog > MAPUG > LOD) while CPS ranks them in the reverse
+order — small files maximize connections, large files maximize bytes.
+"""
+
+import pytest
+
+from repro.bench.figures import cps_vs_bps
+
+
+@pytest.fixture(scope="module")
+def result(scale):
+    return cps_vs_bps(scale)
+
+
+def _column(result, dataset, index):
+    for row in result.rows:
+        if row[0] == dataset:
+            return row[index]
+    raise KeyError(dataset)
+
+
+def test_cps_vs_bps_regenerate(benchmark, result, report):
+    benchmark.pedantic(lambda: None, rounds=1)
+    report("cps_vs_bps", result.format())
+
+
+def test_cps_order_is_reverse_size_order(result):
+    # LOD (smallest docs) wins CPS; Sequoia (largest) loses it.
+    assert result.cps_order() == ["lod", "mapug", "sblog", "sequoia"]
+
+
+def test_sequoia_has_highest_bps(result):
+    assert result.bps_order()[0] == "sequoia"
+
+
+def test_sblog_bps_beats_small_file_datasets(result):
+    sblog = _column(result, "sblog", 2)
+    assert sblog > _column(result, "lod", 2)
+    assert sblog > _column(result, "mapug", 2)
+
+
+def test_bytes_per_connection_ranks_by_document_size(result):
+    per_connection = {row[0]: row[3] for row in result.rows}
+    assert per_connection["sequoia"] > per_connection["sblog"] > \
+        per_connection["mapug"] > per_connection["lod"]

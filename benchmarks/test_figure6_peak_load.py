@@ -1,0 +1,57 @@
+"""Figure 6 — peak load: BPS and CPS vs number of concurrent clients.
+
+Paper shape (LOD data set): both measures rise roughly linearly with the
+client population, then flatten at a stable peak once the cluster
+saturates (excess requests are dropped); doubling the number of servers
+roughly doubles the peak.
+"""
+
+import pytest
+
+from repro.bench.figures import figure6
+
+
+@pytest.fixture(scope="module")
+def result(scale):
+    return figure6(scale)
+
+
+def test_figure6_regenerate(benchmark, result, report):
+    benchmark.pedantic(lambda: None, rounds=1)  # sweep ran once in fixture
+    report("figure6", result.format())
+
+
+def test_cps_rises_with_clients_before_saturation(result, scale):
+    smallest = min(s for s, *_ in result.rows)
+    series = result.series_for(smallest)
+    # CPS at the lightest load is well below the peak.
+    first_cps = series[0][1]
+    assert first_cps < result.peak_cps(smallest) * 0.8
+
+
+def test_cps_stabilizes_at_peak(result, scale):
+    """Beyond saturation the curve flattens instead of collapsing."""
+    largest = max(s for s, *_ in result.rows)
+    series = result.series_for(largest)
+    cps_values = [cps for __, cps, __ in series]
+    peak = max(cps_values)
+    # The heaviest client count still delivers at least 60 % of peak.
+    assert cps_values[-1] >= 0.6 * peak
+
+
+def test_peak_doubles_with_servers(result, scale):
+    counts = sorted({s for s, *_ in result.rows})
+    for low, high in zip(counts, counts[1:]):
+        ratio_servers = high / low
+        ratio_peak = result.peak_cps(high) / result.peak_cps(low)
+        # Paper: "whenever the number of servers was doubled up, the peak
+        # performance was improved proportionally" (LOD has no hot spot).
+        assert ratio_peak >= 0.70 * ratio_servers, (
+            f"{low}->{high} servers: peak ratio {ratio_peak:.2f}")
+
+
+def test_bps_tracks_cps(result):
+    for servers, clients, cps, bps in result.rows:
+        if cps > 0:
+            bytes_per_connection = bps / cps
+            assert 1000 < bytes_per_connection < 10000  # LOD ~2.6 KB/conn

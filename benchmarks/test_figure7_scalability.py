@@ -1,0 +1,57 @@
+"""Figure 7 — scalability and hot spots across the four data sets.
+
+Paper shape: LOD and Sequoia scale close to linearly with the number of
+servers; SBLog and MAPUG are substantially sub-linear because their few
+hot images saturate whichever co-op hosts them (e.g. SBLog gained only
+~5-7 % going from 8 to 16 servers).
+"""
+
+import pytest
+
+from repro.bench.figures import figure7
+
+
+@pytest.fixture(scope="module")
+def result(scale):
+    return figure7(scale)
+
+
+def _endpoints(scale):
+    counts = sorted(scale.server_counts)
+    return counts[0], counts[-1]
+
+
+def test_figure7_regenerate(benchmark, result, report):
+    benchmark.pedantic(lambda: None, rounds=1)
+    report("figure7", result.format())
+
+
+def test_lod_scales_near_linearly(result, scale):
+    low, high = _endpoints(scale)
+    ratio = result.scaling_ratio("lod", low, high)
+    assert ratio >= 0.75 * (high / low), f"LOD ratio {ratio:.2f}"
+
+
+def test_sequoia_scales_near_linearly(result, scale):
+    low, high = _endpoints(scale)
+    ratio = result.scaling_ratio("sequoia", low, high, metric="bps")
+    assert ratio >= 0.70 * (high / low), f"Sequoia BPS ratio {ratio:.2f}"
+
+
+def test_sblog_sub_linear(result, scale):
+    low, high = _endpoints(scale)
+    ratio = result.scaling_ratio("sblog", low, high)
+    assert ratio <= 0.80 * (high / low), f"SBLog ratio {ratio:.2f}"
+
+
+def test_mapug_sub_linear(result, scale):
+    low, high = _endpoints(scale)
+    ratio = result.scaling_ratio("mapug", low, high)
+    assert ratio <= 0.85 * (high / low), f"MAPUG ratio {ratio:.2f}"
+
+
+def test_hot_spot_datasets_scale_worse_than_lod(result, scale):
+    low, high = _endpoints(scale)
+    lod = result.scaling_ratio("lod", low, high)
+    assert result.scaling_ratio("sblog", low, high) < lod
+    assert result.scaling_ratio("mapug", low, high) < lod

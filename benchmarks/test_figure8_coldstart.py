@@ -1,0 +1,42 @@
+"""Figure 8 — time-exponential performance growth from a cold start.
+
+Paper shape: with all files on one home server and empty co-ops,
+aggregate CPS/BPS improve slowly at first, then accelerate as migrations
+compound ("performance improved rapidly at a seemingly exponential rate"),
+because each migration raises the destination co-op's utilization *and*
+the remaining documents' per-document hit rates.
+"""
+
+import pytest
+
+from repro.bench.figures import figure8
+
+
+@pytest.fixture(scope="module")
+def result(scale):
+    return figure8(scale, servers=4)
+
+
+def test_figure8_regenerate(benchmark, result, report):
+    benchmark.pedantic(lambda: None, rounds=1)
+    report("figure8", result.format())
+
+
+def test_growth_is_substantial(result):
+    # The warmed system clearly outperforms the cold one.
+    assert result.warmup_gain() >= 1.5, (
+        f"warm-up gain only {result.warmup_gain():.2f}x")
+
+
+def test_growth_accelerates(result):
+    # "Exponential" signature: later increments beat earlier increments.
+    assert result.is_accelerating(), (
+        f"growth profile {result.cps_growth()} is not accelerating")
+
+
+def test_migrations_drive_growth(result):
+    assert result.migrations > 5
+
+
+def test_bps_grows_with_cps(result):
+    assert result.bps[-1] > result.bps[0]

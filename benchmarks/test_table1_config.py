@@ -1,0 +1,36 @@
+"""Table 1 — server parameter settings.
+
+Regenerates the paper's Table 1 from :class:`ServerConfig` defaults and
+asserts every published value.  The timed section measures configuration
+construction + validation (the only code Table 1 exercises).
+"""
+
+from repro.bench.reporting import format_table
+from repro.core.config import ServerConfig
+
+PAPER_TABLE_1 = [
+    ("Number of front-end threads (N_fe)", "front_end_threads", 1),
+    ("Number of pinger threads (N_pi)", "pinger_threads", 1),
+    ("Number of worker threads (N_wk)", "worker_threads", 12),
+    ("Socket queue length (L_sq)", "socket_queue_length", 100),
+    ("Statistics re-calculation interval (T_st)", "stats_interval", 10.0),
+    ("Pinger thread activation interval (T_pi)", "pinger_interval", 20.0),
+    ("Co-op document validation interval (T_val)", "validation_interval",
+     120.0),
+    ("Home document re-migration interval (T_home)",
+     "home_remigration_interval", 300.0),
+    ("Min time between migrations to same co-op (T_coop)",
+     "coop_migration_spacing", 60.0),
+]
+
+
+def test_table1_defaults_match_paper(benchmark, report):
+    config = benchmark(ServerConfig)
+    rows = []
+    for description, field, expected in PAPER_TABLE_1:
+        actual = getattr(config, field)
+        assert actual == expected, f"{field}: {actual} != paper {expected}"
+        rows.append((description, expected))
+    report("table1", format_table(
+        ("Description", "Parameter value"), rows,
+        title="Table 1 — setting of server parameters"))

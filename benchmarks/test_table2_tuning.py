@@ -1,0 +1,46 @@
+"""Table 2 — parameter tuning trade-offs.
+
+The paper predicts, for each Table 1 interval, which overhead grows when
+the interval shrinks (more migrations/pings/validations/redirections) and
+which responsiveness suffers when it grows.  Each row here runs a low/high
+pair of cold-start experiments and checks the predicted direction.
+"""
+
+import pytest
+
+from repro.bench.figures import table2
+
+
+@pytest.fixture(scope="module")
+def result(scale):
+    return table2(scale)
+
+
+def test_table2_regenerate(benchmark, result, report):
+    benchmark.pedantic(lambda: None, rounds=1)
+    report("table2", result.format())
+
+
+def test_lower_Tst_means_more_migration_overhead(result):
+    row = result.row("T_st")
+    assert row.low_result >= row.high_result
+
+
+def test_lower_Tpi_means_more_forced_pings(result):
+    row = result.row("T_pi")
+    assert row.low_result >= row.high_result
+
+
+def test_lower_Tval_means_more_validation_transfers(result):
+    row = result.row("T_val")
+    assert row.low_result >= row.high_result
+
+
+def test_lower_Thome_means_more_migration_and_redirection(result):
+    row = result.row("T_home")
+    assert row.low_result >= row.high_result
+
+
+def test_lower_Tcoop_means_faster_balancing(result):
+    row = result.row("T_coop")
+    assert row.low_result >= row.high_result

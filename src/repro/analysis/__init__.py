@@ -1,0 +1,26 @@
+"""Analysis utilities for experiment results.
+
+Scaling-law fits, saturation-knee and crossover detection, and ASCII
+charts — the numeric vocabulary the paper's evaluation uses ("close to
+linear", "sub-linear", "the peak was reached at N clients"), made
+executable so benches and downstream users can assert on it.
+"""
+
+from repro.analysis.scaling import (
+    crossover_point,
+    linear_fit,
+    saturation_knee,
+    scaling_efficiency,
+)
+from repro.analysis.textplot import text_plot
+from repro.analysis.workload import WorkloadProfile, characterize
+
+__all__ = [
+    "WorkloadProfile",
+    "characterize",
+    "crossover_point",
+    "linear_fit",
+    "saturation_knee",
+    "scaling_efficiency",
+    "text_plot",
+]

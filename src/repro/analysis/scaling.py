@@ -1,0 +1,130 @@
+"""Scaling-law analysis over (x, y) experiment series.
+
+Small, dependency-free numerics: least-squares lines, scaling efficiency
+(measured speed-up over ideal speed-up), the saturation knee of a
+rise-then-flat curve (Figure 6's shape), and crossover points between two
+competing series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """y ≈ slope·x + intercept, with the fit's r²."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Ordinary least squares; needs at least two distinct x values."""
+    if len(xs) != len(ys):
+        raise ValueError("x and y lengths differ")
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least two points")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0.0:
+        raise ValueError("all x values identical")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    syy = sum((y - mean_y) ** 2 for y in ys)
+    if syy == 0.0:
+        r_squared = 1.0
+    else:
+        residual = sum((y - (slope * x + intercept)) ** 2
+                       for x, y in zip(xs, ys))
+        r_squared = max(0.0, 1.0 - residual / syy)
+    return LinearFit(slope=slope, intercept=intercept, r_squared=r_squared)
+
+
+def scaling_efficiency(servers: Sequence[int],
+                       throughput: Sequence[float]) -> float:
+    """Measured speed-up over ideal speed-up between the series' endpoints.
+
+    1.0 is perfectly linear scaling; the paper's "close to linear" LOD
+    runs sit near 0.9+, its hot-spot data sets well below.
+    """
+    if len(servers) != len(throughput) or len(servers) < 2:
+        raise ValueError("need matching series of length >= 2")
+    pairs = sorted(zip(servers, throughput))
+    (low_n, low_t), (high_n, high_t) = pairs[0], pairs[-1]
+    if low_n <= 0 or high_n <= low_n:
+        raise ValueError("server counts must be positive and increasing")
+    if low_t <= 0:
+        return float("inf")
+    ideal = high_n / low_n
+    measured = high_t / low_t
+    return measured / ideal
+
+
+def saturation_knee(xs: Sequence[float], ys: Sequence[float], *,
+                    flat_fraction: float = 0.1) -> Optional[float]:
+    """The x beyond which y stops growing (Figure 6's plateau).
+
+    Returns the first x whose y is within ``flat_fraction`` of the series
+    maximum, or ``None`` when the series never flattens (still rising at
+    its last point).
+    """
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("need matching non-empty series")
+    peak = max(ys)
+    if peak <= 0:
+        return None
+    threshold = peak * (1.0 - flat_fraction)
+    first_at = next(x for x, y in zip(xs, ys) if y >= threshold)
+    if first_at == xs[-1]:
+        # Only the final point reaches the plateau band: the curve was
+        # still rising when the sweep ended — no knee observed.
+        return None
+    return first_at
+
+
+def crossover_point(xs: Sequence[float], ys_a: Sequence[float],
+                    ys_b: Sequence[float]) -> Optional[float]:
+    """The interpolated x where series A overtakes series B (or vice
+    versa), or ``None`` when one dominates throughout."""
+    if not (len(xs) == len(ys_a) == len(ys_b)) or len(xs) < 2:
+        raise ValueError("need three matching series of length >= 2")
+    previous = ys_a[0] - ys_b[0]
+    for index in range(1, len(xs)):
+        current = ys_a[index] - ys_b[index]
+        if previous == 0.0:
+            return xs[index - 1]
+        if (previous < 0) != (current < 0) and current != previous:
+            x0, x1 = xs[index - 1], xs[index]
+            fraction = abs(previous) / (abs(previous) + abs(current))
+            return x0 + fraction * (x1 - x0)
+        previous = current
+    return None
+
+
+def relative_spread(values: Sequence[float]) -> float:
+    """(max - min) / mean — a quick balance measure for per-server load."""
+    if not values:
+        return 0.0
+    mean = sum(values) / len(values)
+    if mean == 0.0:
+        return 0.0
+    return (max(values) - min(values)) / mean
+
+
+def pairs_sorted(xs: Sequence[float],
+                 ys: Sequence[float]) -> Tuple[Tuple[float, ...],
+                                               Tuple[float, ...]]:
+    """Return both series sorted by x (helper for plotting/fitting)."""
+    if len(xs) != len(ys):
+        raise ValueError("x and y lengths differ")
+    ordered = sorted(zip(xs, ys))
+    return (tuple(x for x, __ in ordered), tuple(y for __, y in ordered))

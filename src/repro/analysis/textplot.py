@@ -1,0 +1,59 @@
+"""ASCII charts for terminal-friendly experiment output.
+
+``text_plot`` renders one or more (x, y) series on a character grid —
+enough to eyeball Figure 6's knee or Figure 8's exponential rise in a
+test log without leaving the terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+_MARKS = "*o+x#@"
+
+
+def text_plot(series: Dict[str, Sequence[float]], *,
+              xs: Sequence[float],
+              width: int = 60, height: int = 15,
+              title: str = "") -> str:
+    """Render the named *series* (each aligned with *xs*) as ASCII art.
+
+    >>> print(text_plot({"cps": [0, 5, 10]}, xs=[0, 1, 2],
+    ...                 width=10, height=3))  # doctest: +SKIP
+    """
+    if not series or not xs:
+        raise ValueError("need at least one series and one x value")
+    for name, values in series.items():
+        if len(values) != len(xs):
+            raise ValueError(f"series {name!r} length mismatch")
+    if width < 10 or height < 3:
+        raise ValueError("plot too small")
+
+    x_low, x_high = min(xs), max(xs)
+    x_span = (x_high - x_low) or 1.0
+    all_values = [v for values in series.values() for v in values]
+    y_low, y_high = min(all_values), max(all_values)
+    y_span = (y_high - y_low) or 1.0
+
+    grid: List[List[str]] = [[" "] * width for __ in range(height)]
+    for index, (name, values) in enumerate(sorted(series.items())):
+        mark = _MARKS[index % len(_MARKS)]
+        for x, y in zip(xs, values):
+            column = int((x - x_low) / x_span * (width - 1))
+            row = height - 1 - int((y - y_low) / y_span * (height - 1))
+            grid[row][column] = mark
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_high:>10.4g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_low:>10.4g} ┤" + "".join(grid[-1]))
+    lines.append(" " * 10 + " └" + "─" * width)
+    lines.append(" " * 12 + f"{x_low:<.4g}" +
+                 f"{x_high:>{max(1, width - len(f'{x_low:<.4g}'))}.4g}")
+    legend = "   ".join(f"{_MARKS[i % len(_MARKS)]} {name}"
+                        for i, name in enumerate(sorted(series)))
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Workload characterization of access traces.
+
+The paper grounds its design in web workload properties (its citation
+[5], Arlitt & Williamson: small transfers dominate; popularity is highly
+skewed).  This module measures those properties on any trace — synthetic
+(:func:`repro.datasets.logs.generate_access_log`) or parsed from real
+Common Log Format files — so users can check how close their workload is
+to the regime DCWS targets:
+
+- document popularity concentration (what share of requests the top-N%
+  of documents absorb) and a Zipf-law exponent fitted on log-log
+  rank/frequency;
+- transfer-size distribution summary (mean/median, share of small
+  transfers — the §5.3 argument for CPS as the balancing metric);
+- per-client request counts (sequence-length proxy).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.analysis.scaling import linear_fit
+from repro.datasets.logs import LogRecord
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Summary statistics of one access trace."""
+
+    requests: int
+    distinct_documents: int
+    distinct_clients: int
+    zipf_exponent: float          # slope of log(freq) vs log(rank), negated
+    zipf_r_squared: float
+    top_decile_share: float       # share of requests to the top 10% of docs
+    mean_bytes: float
+    median_bytes: float
+    small_transfer_share: float   # share of transfers under 10 KB
+
+    def format(self) -> str:
+        lines = [
+            "workload profile",
+            f"  requests                {self.requests}",
+            f"  distinct documents      {self.distinct_documents}",
+            f"  distinct clients        {self.distinct_clients}",
+            f"  Zipf exponent           {self.zipf_exponent:.2f} "
+            f"(r²={self.zipf_r_squared:.2f})",
+            f"  top-10% document share  {self.top_decile_share:.0%}",
+            f"  mean / median transfer  {self.mean_bytes:.0f} / "
+            f"{self.median_bytes:.0f} bytes",
+            f"  transfers under 10 KB   {self.small_transfer_share:.0%}",
+        ]
+        return "\n".join(lines)
+
+
+def characterize(records: Sequence[LogRecord]) -> WorkloadProfile:
+    """Compute a :class:`WorkloadProfile` for *records*."""
+    if not records:
+        raise ValueError("cannot characterize an empty trace")
+    frequency: Counter = Counter(record.path for record in records)
+    clients = {record.client for record in records}
+    exponent, r_squared = zipf_fit(frequency)
+    sizes = sorted(record.size for record in records)
+    total = len(records)
+    mean_bytes = sum(sizes) / total
+    median_bytes = float(sizes[total // 2])
+    small = sum(1 for size in sizes if size < 10_240) / total
+    return WorkloadProfile(
+        requests=total,
+        distinct_documents=len(frequency),
+        distinct_clients=len(clients),
+        zipf_exponent=exponent,
+        zipf_r_squared=r_squared,
+        top_decile_share=popularity_concentration(frequency, 0.10),
+        mean_bytes=mean_bytes,
+        median_bytes=median_bytes,
+        small_transfer_share=small,
+    )
+
+
+def zipf_fit(frequency: Dict[str, int]) -> "tuple[float, float]":
+    """Fit ``log(freq) = -a·log(rank) + c``; returns ``(a, r²)``.
+
+    ``a`` near 1 is the classic web-popularity Zipf law; 0 means uniform
+    popularity (LOD's no-hot-spot regime).
+    """
+    counts = sorted(frequency.values(), reverse=True)
+    if len(counts) < 2:
+        return 0.0, 1.0
+    xs = [math.log(rank) for rank in range(1, len(counts) + 1)]
+    ys = [math.log(count) for count in counts]
+    fit = linear_fit(xs, ys)
+    return -fit.slope, fit.r_squared
+
+
+def popularity_concentration(frequency: Dict[str, int],
+                             fraction: float) -> float:
+    """Share of all requests absorbed by the hottest *fraction* of
+    documents (e.g. 0.10 for the top decile)."""
+    if not frequency:
+        return 0.0
+    counts = sorted(frequency.values(), reverse=True)
+    top_n = max(1, int(len(counts) * fraction))
+    return sum(counts[:top_n]) / sum(counts)
+
+
+def per_client_requests(records: Sequence[LogRecord]) -> List[int]:
+    """Request counts per client, descending (sequence-length proxy)."""
+    counter: Counter = Counter(record.client for record in records)
+    return sorted(counter.values(), reverse=True)

@@ -1,0 +1,21 @@
+"""Baseline architectures from the paper's related work (section 2).
+
+Two comparators for the ablation benches:
+
+- :class:`~repro.baselines.rr_dns.RoundRobinDNSCluster` — the NCSA-style
+  cluster: every server holds a full replica (AFS-shared content) and a
+  round-robin DNS spreads clients across servers, with TTL-cached
+  mappings (the coarse-grained control the paper criticizes);
+- :class:`~repro.baselines.tcprouter.TCPRouterCluster` — the
+  LocalDirector/MagicRouter pattern: one router owns the virtual IP and
+  every packet (we model every connection and its response bytes) passes
+  through it, making the router the bottleneck the paper predicts.
+
+Both reuse the simulator's node, network and Algorithm 2 client models so
+comparisons against DCWS differ only in architecture.
+"""
+
+from repro.baselines.rr_dns import RoundRobinDNSCluster
+from repro.baselines.tcprouter import TCPRouterCluster
+
+__all__ = ["RoundRobinDNSCluster", "TCPRouterCluster"]

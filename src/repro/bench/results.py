@@ -1,0 +1,74 @@
+"""Compile ``benchmarks/results/*.txt`` into one readable report.
+
+Each bench writes its table/series to its own file; this module stitches
+them into a single document (the order follows the paper's evaluation
+section), used by ``python -m repro bench report`` style tooling and by
+anyone wanting a one-file view of the latest run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+#: Presentation order: the paper's artefacts first, ablations after.
+REPORT_ORDER = (
+    "table1",
+    "figure6",
+    "figure7",
+    "figure8",
+    "table2",
+    "overhead",
+    "cps_vs_bps",
+    "ablation_baselines",
+    "ablation_replication",
+    "ablation_selection",
+    "ablation_think_time",
+    "ablation_bookmarks",
+    "ablation_heterogeneity",
+    "ablation_initial_distribution",
+)
+
+
+def collect_results(results_dir: str) -> Dict[str, str]:
+    """Read every ``<name>.txt`` under *results_dir*."""
+    collected: Dict[str, str] = {}
+    if not os.path.isdir(results_dir):
+        return collected
+    for entry in sorted(os.listdir(results_dir)):
+        if not entry.endswith(".txt"):
+            continue
+        path = os.path.join(results_dir, entry)
+        try:
+            with open(path) as handle:
+                collected[entry[:-4]] = handle.read().strip()
+        except OSError:
+            continue
+    return collected
+
+
+def compile_report(results_dir: str, *,
+                   title: str = "DCWS reproduction — latest results") -> str:
+    """One document containing every available result, in paper order."""
+    collected = collect_results(results_dir)
+    lines: List[str] = [title, "=" * len(title), ""]
+    if not collected:
+        lines.append("(no results found — run `pytest benchmarks/ "
+                     "--benchmark-only` first)")
+        return "\n".join(lines)
+    ordered = [name for name in REPORT_ORDER if name in collected]
+    ordered += [name for name in sorted(collected) if name not in ordered]
+    for name in ordered:
+        lines.append(collected[name])
+        lines.append("")
+    lines.append(f"({len(ordered)} experiments)")
+    return "\n".join(lines)
+
+
+def write_report(results_dir: str, output_path: Optional[str] = None) -> str:
+    """Compile and (optionally) save the report; returns its text."""
+    report = compile_report(results_dir)
+    if output_path:
+        with open(output_path, "w") as handle:
+            handle.write(report + "\n")
+    return report

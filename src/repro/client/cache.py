@@ -1,0 +1,50 @@
+"""The benchmark's client-side cache (paper section 5.2).
+
+Web browsers keep a client-side cache that significantly reduces temporal
+locality of server-visible requests.  The custom benchmark simulates this
+with a cache maintained for the duration of each access sequence (1–25
+document requests) and reset between sequences.  Two real-world effects the
+paper calls out: hot images linked from many pages hit the server less, and
+stale hyperlinks cached client-side generate 301 redirects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class ClientCache:
+    """URL-keyed cache of fetched resources for one browse sequence.
+
+    Keys are full URL strings (location-sensitive: the same document at its
+    home and at a co-op are distinct cache entries, exactly as a browser
+    sees them).  Values carry the response body size and the document's
+    outgoing links so a cached page can still be navigated.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Tuple[int, List[str]]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, url: str) -> Optional[Tuple[int, List[str]]]:
+        """Return ``(size, links)`` or ``None``; counts hit/miss."""
+        entry = self._entries.get(url)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def store(self, url: str, size: int, links: List[str]) -> None:
+        self._entries[url] = (size, list(links))
+
+    def __contains__(self, url: object) -> bool:
+        return url in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def reset(self) -> None:
+        """Called between sequences ("reset cache", Algorithm 2)."""
+        self._entries.clear()

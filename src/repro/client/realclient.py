@@ -1,0 +1,146 @@
+"""A small blocking HTTP client over real sockets.
+
+Used by the threaded DCWS server for server-to-server transfers (lazy
+migration pulls, validations, pings) and by the real-transport walker.
+One request per connection, HTTP/1.0 style, exactly like the 1998
+prototype's inter-server sessions.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import List
+
+from repro.core.document import Location
+from repro.errors import HTTPError
+from repro.html.links import extract_links
+from repro.html.parser import parse_html
+from repro.http.messages import Request, Response, parse_response
+from repro.http.urls import URL
+from repro.client.walker import FetchOutcome
+
+_RECV_CHUNK = 65536
+_MAX_RESPONSE = 64 * 1024 * 1024
+
+
+def http_fetch(peer: Location, request: Request, *,
+               timeout: float = 10.0) -> Response:
+    """Send *request* to *peer* and read the complete response.
+
+    Raises :class:`repro.errors.HTTPError` (or ``OSError``) on transport
+    or framing problems; callers treat those as peer failure.
+    """
+    with socket.create_connection((peer.host, peer.port), timeout=timeout) as sock:
+        sock.sendall(request.serialize())
+        data = _read_response_bytes(sock)
+    return parse_response(data)
+
+
+def _parse_content_length(head: str):
+    """Content-Length from a raw response head, or None when absent."""
+    for line in head.split("\r\n")[1:]:
+        name, sep, value = line.partition(":")
+        if sep and name.strip().lower() == "content-length":
+            try:
+                return int(value.strip())
+            except ValueError:
+                raise HTTPError(f"bad Content-Length: {value!r}") from None
+    return None
+
+
+def _read_response_bytes(sock: socket.socket) -> bytes:
+    """Read head + Content-Length body (or until EOF without one)."""
+    buffer = bytearray()
+    head_end = -1
+    while head_end < 0:
+        chunk = sock.recv(_RECV_CHUNK)
+        if not chunk:
+            break
+        buffer.extend(chunk)
+        if len(buffer) > _MAX_RESPONSE:
+            raise HTTPError("response exceeds size limit")
+        head_end = buffer.find(b"\r\n\r\n")
+    if head_end < 0:
+        raise HTTPError("connection closed before response head completed")
+    head = bytes(buffer[:head_end]).decode("latin-1", "replace")
+    content_length = _parse_content_length(head)
+    if content_length is None:
+        # No Content-Length: read to EOF (HTTP/1.0 close-delimited).
+        while True:
+            chunk = sock.recv(_RECV_CHUNK)
+            if not chunk:
+                return bytes(buffer)
+            buffer.extend(chunk)
+            if len(buffer) > _MAX_RESPONSE:
+                raise HTTPError("response exceeds size limit")
+    needed = head_end + 4 + content_length
+    while len(buffer) < needed:
+        chunk = sock.recv(_RECV_CHUNK)
+        if not chunk:
+            break
+        buffer.extend(chunk)
+        if len(buffer) > _MAX_RESPONSE:
+            raise HTTPError("response exceeds size limit")
+    return bytes(buffer[:needed])
+
+
+def fetch_url(url: URL, *, timeout: float = 10.0,
+              max_redirects: int = 5) -> FetchOutcome:
+    """Fetch *url* as a browser would: follow redirects, parse HTML links.
+
+    This is the ``fetch`` callable handed to
+    :class:`repro.client.walker.RandomWalker` for real-transport runs.
+    """
+    redirected = False
+    current = url
+    followed = 0
+    while True:
+        request = Request(method="GET", target=current.request_target)
+        request.headers.set("Host", current.authority)
+        try:
+            response = http_fetch(Location(current.host, current.port),
+                                  request, timeout=timeout)
+        except (OSError, HTTPError):
+            return FetchOutcome(status=599, redirected=redirected)
+        if response.status in (301, 302):
+            location = response.headers.get("Location")
+            if not location or followed >= max_redirects:
+                # Out of follows (or nowhere to go): report the redirect
+                # itself, the way max_redirects=0 callers expect.
+                return FetchOutcome(status=response.status,
+                                    size=len(response.body),
+                                    redirected=redirected)
+            from repro.http.urls import join_url
+
+            current = join_url(current, location)
+            redirected = True
+            followed += 1
+            continue
+        links, images = _split_links(response)
+        return FetchOutcome(status=response.status, size=len(response.body),
+                            links=links, images=images, redirected=redirected)
+
+
+def _split_links(response: Response) -> "tuple[List[str], List[str]]":
+    content_type = response.headers.get("Content-Type", "") or ""
+    if not content_type.startswith("text/html") or not response.body:
+        return [], []
+    document = parse_html(response.body.decode("latin-1", "replace"))
+    links: List[str] = []
+    images: List[str] = []
+    for link in extract_links(document):
+        if link.embedded:
+            images.append(link.value)
+        elif link.tag == "a":
+            links.append(link.value)
+    return links, images
+
+
+def head_ok(peer: Location, *, timeout: float = 3.0) -> bool:
+    """Cheap liveness probe used by examples and tests."""
+    request = Request(method="HEAD", target="/")
+    try:
+        response = http_fetch(peer, request, timeout=timeout)
+    except (OSError, HTTPError):
+        return False
+    return response.status < 500

@@ -1,0 +1,138 @@
+"""Server configuration: the paper's Table 1 parameters plus policy knobs.
+
+Defaults reproduce Table 1 exactly::
+
+    Number of front-end threads        1
+    Number of pinger threads           1
+    Number of worker threads           12
+    Socket queue length                100
+    Statistics re-calculation interval 10 s   (T_st)
+    Pinger activation interval         20 s   (T_pi)
+    Co-op validation interval          120 s  (T_val)
+    Home re-migration interval         300 s  (T_home)
+    Min time between migrations to the
+    same co-op server                  60 s   (T_coop)
+
+The additional fields parameterize behaviour the paper describes in prose:
+the hit threshold of Algorithm 1, the overload trigger, and the choice of
+CPS vs BPS as the balancing metric (section 5.3 justifies CPS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict
+
+from repro.core.metrics import LoadMetricKind
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunable parameters of one DCWS server.
+
+    Instances are immutable; derive variants with :meth:`scaled` or
+    :func:`dataclasses.replace`.
+    """
+
+    # --- Table 1 -------------------------------------------------------
+    front_end_threads: int = 1
+    pinger_threads: int = 1
+    worker_threads: int = 12
+    socket_queue_length: int = 100
+    stats_interval: float = 10.0        # T_st, seconds
+    pinger_interval: float = 20.0       # T_pi, seconds
+    validation_interval: float = 120.0  # T_val, seconds
+    home_remigration_interval: float = 300.0  # T_home, seconds
+    coop_migration_spacing: float = 60.0      # T_coop, seconds
+
+    # --- migration policy (sections 4.1-4.2) ---------------------------
+    # Initial hit threshold T of Algorithm 1 step 3 (hits per stats window).
+    migration_hit_threshold: float = 10.0
+    # Factor by which the threshold shrinks when step 3 empties the set.
+    threshold_reduction_factor: float = 0.5
+    # Home servers migrate at most one file per stats interval (section
+    # 5.2: "a maximum of one file per 10 seconds").
+    max_migrations_per_interval: int = 1
+    # Migrate only when own load exceeds the cluster mean by this factor.
+    imbalance_tolerance: float = 1.15
+    # Load metric used for balancing decisions; the paper argues CPS for
+    # typical web workloads and BPS for large-file workloads (section 5.3).
+    load_metric: LoadMetricKind = LoadMetricKind.CPS
+    # Extension: each dropped connection/second adds this much advertised
+    # load.  0 (default) is the paper's plain CPS/BPS; positive values let
+    # slow machines on heterogeneous clusters signal their overload.
+    drop_pressure_weight: float = 0.0
+
+    # --- consistency (section 4.5) --------------------------------------
+    # Pinger probes a peer whose GLT entry is older than this many
+    # pinger intervals.
+    staleness_intervals: float = 1.0
+    # Consecutive failed pings before a co-op is declared dead and its
+    # documents are revoked.
+    ping_failure_limit: int = 3
+
+    # --- extensions beyond the prototype --------------------------------
+    # Paper future work (section 6): replicate hot documents to several
+    # co-ops.  0 disables replication (prototype behaviour: footnote 1,
+    # "each document may be migrated to only one co-op server").
+    max_replicas: int = 1
+    # Document-selection policy.  "paper" is Algorithm 1; "hottest" takes
+    # the highest-hit candidate ignoring link locality (ablating steps
+    # 4-5); "random" picks uniformly among threshold survivors.
+    selection_policy: str = "paper"
+    # Algorithm 1 step 2: never migrate well-known entry points.  False is
+    # an ablation knob quantifying the entry-points hypothesis (§3.1).
+    protect_entry_points: bool = True
+    # Entry gate (§3.1): when the shared secret is non-empty, non-entry
+    # documents require a session cookie issued at an entry point; deep
+    # links without one are redirected to the front door.  The secret is
+    # shared cluster-wide so co-ops validate tokens statelessly.
+    entry_gate_secret: str = ""
+    entry_gate_ttl: float = 900.0
+
+    def __post_init__(self) -> None:
+        positive = (
+            "front_end_threads", "pinger_threads", "worker_threads",
+            "socket_queue_length", "stats_interval", "pinger_interval",
+            "validation_interval", "home_remigration_interval",
+            "coop_migration_spacing", "max_migrations_per_interval",
+            "ping_failure_limit", "max_replicas",
+        )
+        for name in positive:
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive, got {getattr(self, name)!r}")
+        if self.migration_hit_threshold < 0:
+            raise ConfigError("migration_hit_threshold must be non-negative")
+        if not (0.0 < self.threshold_reduction_factor < 1.0):
+            raise ConfigError("threshold_reduction_factor must be in (0, 1)")
+        if self.imbalance_tolerance < 1.0:
+            raise ConfigError("imbalance_tolerance must be >= 1.0")
+        if self.selection_policy not in ("paper", "hottest", "random"):
+            raise ConfigError(
+                f"unknown selection_policy: {self.selection_policy!r}")
+        if self.entry_gate_ttl <= 0:
+            raise ConfigError("entry_gate_ttl must be positive")
+
+    def scaled(self, time_factor: float) -> "ServerConfig":
+        """Return a copy with every time interval multiplied by
+        *time_factor* — used to compress virtual time in benchmarks while
+        keeping the paper's interval *ratios* intact."""
+        if time_factor <= 0:
+            raise ConfigError("time_factor must be positive")
+        return replace(
+            self,
+            stats_interval=self.stats_interval * time_factor,
+            pinger_interval=self.pinger_interval * time_factor,
+            validation_interval=self.validation_interval * time_factor,
+            home_remigration_interval=self.home_remigration_interval * time_factor,
+            coop_migration_spacing=self.coop_migration_spacing * time_factor,
+        )
+
+    def as_table(self) -> Dict[str, Any]:
+        """Field name → value mapping, used by the Table 1 bench reporter."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+#: The configuration used throughout the paper's experiments (Table 1).
+PAPER_CONFIG = ServerConfig()

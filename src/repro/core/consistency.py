@@ -1,0 +1,105 @@
+"""Consistency timers: validation, staleness tracking, dead-peer detection.
+
+Paper section 4.5 describes four consistency concerns, three of which are
+timer-driven:
+
+1. *content change* — co-op servers re-request ("validate") every hosted
+   document at interval T_val, so an edit is inconsistent for at most
+   T_val seconds;
+2. *workload change* — home servers may abandon a migration after T_home
+   (handled by :class:`repro.core.migration.MigrationPolicy`);
+3. *co-op crash* — the pinger probes peers whose load information has gone
+   stale; several consecutive failures declare the peer dead and its
+   documents are recalled.
+
+This module provides the small generic pieces: a :class:`DueTracker` that
+answers "which keys are due for periodic work at time *now*" and a
+:class:`PeerHealth` monitor implementing the failure-count rule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+
+
+class DueTracker:
+    """Tracks when each key was last serviced; reports keys past their
+    interval.  Used for co-op document validation (key = document name)
+    and any other fixed-interval chore."""
+
+    def __init__(self, interval: float) -> None:
+        self.interval = interval
+        self._last: Dict[Hashable, float] = {}
+
+    def register(self, key: Hashable, now: float) -> None:
+        """Start tracking *key*; its first service is due at now+interval."""
+        self._last.setdefault(key, now)
+
+    def forget(self, key: Hashable) -> None:
+        self._last.pop(key, None)
+
+    def mark(self, key: Hashable, now: float) -> None:
+        """Record that *key* was serviced at *now*."""
+        self._last[key] = now
+
+    def due(self, now: float) -> List[Hashable]:
+        """Keys whose last service is at least one interval old (sorted for
+        determinism)."""
+        overdue = [key for key, last in self._last.items()
+                   if now - last >= self.interval]
+        return sorted(overdue, key=str)
+
+    def last_serviced(self, key: Hashable) -> Optional[float]:
+        return self._last.get(key)
+
+    def keys(self) -> List[Hashable]:
+        return sorted(self._last, key=str)
+
+    def __len__(self) -> int:
+        return len(self._last)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._last
+
+
+class PeerHealth:
+    """Consecutive-ping-failure accounting for dead co-op detection.
+
+    A peer is *suspect* after one failed ping and *dead* after
+    ``failure_limit`` consecutive failures; any success resets it.
+    """
+
+    def __init__(self, failure_limit: int) -> None:
+        self.failure_limit = failure_limit
+        self._failures: Dict[str, int] = {}
+
+    def record_success(self, peer: str) -> None:
+        self._failures.pop(peer, None)
+
+    def record_failure(self, peer: str) -> int:
+        """Count a failure; returns the consecutive count."""
+        self._failures[peer] = self._failures.get(peer, 0) + 1
+        return self._failures[peer]
+
+    def is_dead(self, peer: str) -> bool:
+        return self._failures.get(peer, 0) >= self.failure_limit
+
+    def dead_peers(self) -> List[str]:
+        return sorted(p for p, n in self._failures.items()
+                      if n >= self.failure_limit)
+
+    def suspects(self) -> List[str]:
+        return sorted(p for p, n in self._failures.items()
+                      if 0 < n < self.failure_limit)
+
+    def forget(self, peer: str) -> None:
+        self._failures.pop(peer, None)
+
+    def reset(self, peers: Iterable[str] = ()) -> None:
+        if not peers:
+            self._failures.clear()
+            return
+        for peer in peers:
+            self._failures.pop(peer, None)

@@ -1,0 +1,83 @@
+"""The local-document-graph tuple (paper Figure 2).
+
+Each document a server knows about is one :class:`DocumentRecord`::
+
+    (Name, Location, Size, Hits, LinkTo, LinkFrom, Dirty)
+
+``Name`` is the request path (``/dir/foo.html``) and doubles as the disk
+file name.  ``Location`` is the server currently hosting the document.
+``LinkTo``/``LinkFrom`` are document names on the same site; ``LinkFrom``
+is maintained as the exact transpose of ``LinkTo`` by
+:class:`~repro.core.ldg.LocalDocumentGraph`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Set
+
+
+@dataclass(frozen=True)
+class Location:
+    """A server identity: ``host:port``.
+
+    Server names in the GLT and in ``Location`` fields use this one type so
+    comparisons are never string-formatting-sensitive.
+    """
+
+    host: str
+    port: int
+
+    @classmethod
+    def parse(cls, text: str) -> "Location":
+        host, sep, port_text = text.partition(":")
+        if not sep or not host:
+            raise ValueError(f"malformed location: {text!r}")
+        return cls(host, int(port_text))
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+@dataclass
+class DocumentRecord:
+    """One tuple of the local document graph.
+
+    Beyond the paper's seven fields this carries ``entry_point`` (step 2 of
+    Algorithm 1 must never migrate well-known entry points), ``embedded_in``
+    (names of documents embedding this one as an image/frame, a subset of
+    ``link_from``), a ``version`` counter driving validation (section 4.5),
+    and ``replicas`` for the replication extension.
+    """
+
+    name: str
+    location: Location
+    size: int
+    hits: int = 0
+    link_to: Set[str] = field(default_factory=set)
+    link_from: Set[str] = field(default_factory=set)
+    dirty: bool = False
+
+    entry_point: bool = False
+    content_type: str = "text/html"
+    version: int = 0
+    # Recent-window hits, reset each stats interval; Algorithm 1 selects on
+    # these so selection tracks the *current* access pattern.
+    window_hits: int = 0
+    # Extra locations when replication (future work) is enabled.
+    replicas: Set[Location] = field(default_factory=set)
+
+    @property
+    def is_html(self) -> bool:
+        return self.content_type.startswith("text/html")
+
+    def locations(self) -> Set[Location]:
+        """Primary location plus replicas."""
+        return {self.location} | set(self.replicas)
+
+    def record_hit(self, count: int = 1) -> None:
+        self.hits += count
+        self.window_hits += count
+
+    def reset_window(self) -> None:
+        self.window_hits = 0

@@ -1,0 +1,77 @@
+"""The migrated-document naming convention (paper section 3.4).
+
+A document ``/dir1/dir2/foo.html`` whose home server is ``h_name:h_port``
+is addressed on a co-op server as::
+
+    http://c_name:c_port/~migrate/h_name/h_port/dir1/dir2/foo.html
+
+The co-op recovers the original URL by stripping everything up to and
+including the ``~migrate`` component and re-assembling host, port and path
+from the following segments.  The encoding is self-describing: co-op
+servers need no out-of-band state to know which home server to pull from.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.document import Location
+from repro.errors import NamingError
+from repro.http.urls import URL, split_path
+
+MIGRATE_MARKER = "~migrate"
+
+
+def encode_migrated_path(home: Location, path: str) -> str:
+    """Encode *path* (on its *home* server) into the co-op request path.
+
+    >>> encode_migrated_path(Location("www.cs.arizona.edu", 80), "/a/foo.html")
+    '/~migrate/www.cs.arizona.edu/80/a/foo.html'
+    """
+    if not path.startswith("/"):
+        raise NamingError(f"document path must be absolute: {path!r}")
+    if is_migrated_path(path):
+        raise NamingError(f"path is already in migrated form: {path!r}")
+    return f"/{MIGRATE_MARKER}/{home.host}/{home.port}{path}"
+
+
+def decode_migrated_path(path: str) -> Tuple[Location, str]:
+    """Recover ``(home, original_path)`` from a migrated-form path.
+
+    >>> decode_migrated_path("/~migrate/www.cs.arizona.edu/80/a/foo.html")
+    (Location(host='www.cs.arizona.edu', port=80), '/a/foo.html')
+    """
+    segments = split_path(path)
+    if not segments or segments[0] != MIGRATE_MARKER:
+        raise NamingError(f"not a migrated-form path: {path!r}")
+    if len(segments) < 4:
+        raise NamingError(f"migrated-form path too short: {path!r}")
+    host = segments[1]
+    try:
+        port = int(segments[2])
+    except ValueError as exc:
+        raise NamingError(f"migrated-form path has bad port: {path!r}") from exc
+    if not (0 < port < 65536):
+        raise NamingError(f"migrated-form path port out of range: {path!r}")
+    original = "/" + "/".join(segments[3:])
+    return Location(host, port), original
+
+
+def is_migrated_path(path: str) -> bool:
+    """True when *path*'s first component is ``~migrate``."""
+    return path.startswith(f"/{MIGRATE_MARKER}/")
+
+
+def migrated_url(coop: Location, home: Location, path: str) -> URL:
+    """The full URL a hyperlink is rewritten to after migration.
+
+    This is the exact string embedded into referring documents by the
+    rewriter, and the ``Location`` header value of the home server's 301.
+    """
+    return URL(host=coop.host, port=coop.port,
+               path=encode_migrated_path(home, path))
+
+
+def home_url(home: Location, path: str) -> URL:
+    """The original (pre-migration) URL of a document."""
+    return URL(host=home.host, port=home.port, path=path)

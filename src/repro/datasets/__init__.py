@@ -1,0 +1,47 @@
+"""Dataset generators reproducing the paper's four corpora (section 5.2).
+
+The authors' data sets are no longer retrievable (the 1998 URLs are dead),
+so each module generates a synthetic corpus with the *published statistics*
+— document counts, link counts, aggregate sizes, image-size distributions,
+and crucially the link *topology* that drives the paper's results (the hot
+shared button images of MAPUG, SBLog's single wildly popular JPEG, LOD's
+thumbnail tables that develop no hot spot, Sequoia's huge image files).
+
+All generators are deterministic for a given seed and emit real HTML that
+the DCWS parser/rewriter processes verbatim.
+
+==========  ==========  ========  ===========  =========================
+data set    documents   links     total bytes  character
+==========  ==========  ========  ===========  =========================
+MAPUG       1,534       28,998    5,918 KB     text + hot nav buttons
+SBLog       402         57,531    8,468 KB     text + one hot JPEG
+LOD         349         1,433     750 KB       240 images, no hot spot
+Sequoia     131         130       ~170 MB      130 images of 1–2.8 MB
+==========  ==========  ========  ===========  =========================
+"""
+
+from repro.datasets.base import DatasetStats, SiteContent, corpus_stats
+from repro.datasets.lod import build_lod
+from repro.datasets.mapug import build_mapug
+from repro.datasets.sblog import build_sblog
+from repro.datasets.sequoia import build_sequoia
+from repro.datasets.synthetic import build_synthetic_site
+
+DATASET_BUILDERS = {
+    "mapug": build_mapug,
+    "sblog": build_sblog,
+    "lod": build_lod,
+    "sequoia": build_sequoia,
+}
+
+__all__ = [
+    "DATASET_BUILDERS",
+    "DatasetStats",
+    "SiteContent",
+    "build_lod",
+    "build_mapug",
+    "build_sblog",
+    "build_sequoia",
+    "build_synthetic_site",
+    "corpus_stats",
+]

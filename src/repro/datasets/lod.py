@@ -1,0 +1,81 @@
+"""LOD role-playing adventure guide (paper section 5.2, data set 3).
+
+Published statistics: 349 documents (240 of them images), 1,433 links,
+750 KB aggregate.  "About a half dozen pages consist of large tables of
+characters or data items with about 50 thumbnail images in each page.
+Images follow a bimodal distribution with approximately half of the images
+averaging 1.5 Kbytes and the remainder averaging 3.5 Kbytes."
+
+This data set develops no hot spot — thumbnails are spread across many
+table pages — which is why the paper uses it to demonstrate close-to-
+linear scalability (Figure 6).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.datasets.base import SiteContent, bimodal_sizes, make_image, make_page
+
+IMAGE_COUNT = 240
+TABLE_COUNT = 6
+THUMBS_PER_TABLE = 50
+CATEGORY_COUNT = 12
+CHARACTER_COUNT = 90
+
+
+def build_lod(seed: int = 0) -> SiteContent:
+    """Generate the LOD guide deterministically for *seed*."""
+    rng = random.Random(seed)
+    documents: Dict[str, bytes] = {}
+
+    image_paths = [f"/img/item{i:03d}.gif" for i in range(IMAGE_COUNT)]
+    sizes = bimodal_sizes(rng, IMAGE_COUNT, mode_a=1536, mode_b=3584)
+    for index, (path, size) in enumerate(zip(image_paths, sizes)):
+        documents[path] = make_image(size, seed=seed * 2000 + index, kind="gif")
+
+    table_paths = [f"/tables/t{i}.html" for i in range(TABLE_COUNT)]
+    for index, path in enumerate(table_paths):
+        thumbs = [image_paths[(index * THUMBS_PER_TABLE + k) % IMAGE_COUNT]
+                  for k in range(THUMBS_PER_TABLE)]
+        nav: List[Tuple[str, str]] = [("/index.html", "guide home")]
+        nav.append((table_paths[(index + 1) % TABLE_COUNT], "next table"))
+        documents[path] = make_page(f"Item table {index}", nav_links=nav,
+                                    images=thumbs, body_bytes=700, rng=rng)
+
+    character_paths = [f"/chars/c{i:03d}.html" for i in range(CHARACTER_COUNT)]
+    category_paths = [f"/cats/g{i:02d}.html" for i in range(CATEGORY_COUNT)]
+
+    for index, path in enumerate(character_paths):
+        portraits = [image_paths[(index * 3 + k) % IMAGE_COUNT]
+                     for k in range(3)]
+        nav = [(category_paths[index % CATEGORY_COUNT], "category"),
+               ("/index.html", "guide home")]
+        for offset in (1, 3, 7, 11, 17):
+            nav.append((character_paths[(index + offset) % CHARACTER_COUNT],
+                        "related character"))
+        nav.append((table_paths[index % TABLE_COUNT], "item table"))
+        documents[path] = make_page(f"Character {index}", nav_links=nav,
+                                    images=portraits, body_bytes=500, rng=rng)
+
+    per_category = CHARACTER_COUNT // CATEGORY_COUNT
+    for index, path in enumerate(category_paths):
+        members = character_paths[index * per_category:(index + 1) * per_category]
+        nav = [(m, "character") for m in members]
+        nav.append(("/index.html", "guide home"))
+        documents[path] = make_page(f"Category {index}", nav_links=nav,
+                                    body_bytes=500, rng=rng)
+
+    entry_nav = [(p, "item table") for p in table_paths]
+    entry_nav.extend((p, "category") for p in category_paths)
+    documents["/index.html"] = make_page(
+        "LOD Role-Playing Adventure Guide", nav_links=entry_nav,
+        body_bytes=900, rng=rng)
+
+    return SiteContent(
+        name="lod",
+        documents=documents,
+        entry_points=["/index.html"],
+        description="graphical game guide; bimodal thumbnails, no hot spot",
+    )

@@ -1,0 +1,104 @@
+"""MAPUG mailing-list archive (paper section 5.2, data set 1).
+
+Published statistics: 1,534 documents, 28,998 links, 5,918 KB aggregate.
+"The data set is mostly text, each with 4-6 bit-mapped images, which are
+buttons for links to the next, previous, next_thread, previous_thread, and
+several index pages.  The bit-mapped buttons have a high request rate and
+are among the first pages migrated by the server."
+
+Generated structure:
+
+- ``/msg/mNNNN.html`` — 1,497 archived messages in threads of six, each
+  carrying six navigation button images (the shared hot spots), six
+  navigation hyperlinks, and links to its thread siblings;
+- ``/index/dNN.html`` — 30 by-date index pages of ~50 messages each;
+- ``/threads.html`` — a thread index;
+- ``/buttons/*.gif`` — the six hot button images;
+- ``/index.html`` — the well-known entry point.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.datasets.base import SiteContent, make_image, make_page
+
+MESSAGE_COUNT = 1497
+THREAD_SIZE = 6
+MESSAGES_PER_INDEX = 50
+
+BUTTONS = ("next", "prev", "nextthread", "prevthread", "index", "home")
+
+
+def build_mapug(seed: int = 0) -> SiteContent:
+    """Generate the MAPUG archive deterministically for *seed*."""
+    rng = random.Random(seed)
+    documents: Dict[str, bytes] = {}
+
+    button_paths = [f"/buttons/{name}.gif" for name in BUTTONS]
+    for index, path in enumerate(button_paths):
+        documents[path] = make_image(rng.randint(900, 1200),
+                                     seed=seed * 1000 + index, kind="gif")
+
+    message_paths = [f"/msg/m{i:04d}.html" for i in range(MESSAGE_COUNT)]
+    index_paths = [f"/index/d{i:02d}.html"
+                   for i in range((MESSAGE_COUNT + MESSAGES_PER_INDEX - 1)
+                                  // MESSAGES_PER_INDEX)]
+
+    for position, path in enumerate(message_paths):
+        documents[path] = _message_page(rng, position, message_paths,
+                                        index_paths, button_paths)
+
+    for page_number, path in enumerate(index_paths):
+        start = page_number * MESSAGES_PER_INDEX
+        listed = message_paths[start:start + MESSAGES_PER_INDEX]
+        nav: List[Tuple[str, str]] = [(m, f"message {m}") for m in listed]
+        nav.append(("/index.html", "archive home"))
+        if page_number + 1 < len(index_paths):
+            nav.append((index_paths[page_number + 1], "next page"))
+        documents[path] = make_page(f"MAPUG by date, page {page_number}",
+                                    nav_links=nav, body_bytes=600, rng=rng)
+
+    thread_nav = [(message_paths[t], f"thread {t // THREAD_SIZE}")
+                  for t in range(0, MESSAGE_COUNT, THREAD_SIZE)]
+    documents["/threads.html"] = make_page(
+        "MAPUG by thread", nav_links=thread_nav, body_bytes=800, rng=rng)
+
+    entry_nav = [(p, f"dates page {i}") for i, p in enumerate(index_paths)]
+    entry_nav.append(("/threads.html", "by thread"))
+    documents["/index.html"] = make_page(
+        "MAPUG Mailing List Archive", nav_links=entry_nav,
+        body_bytes=1500, rng=rng)
+
+    return SiteContent(
+        name="mapug",
+        documents=documents,
+        entry_points=["/index.html"],
+        description="mailing-list archive; hot shared button images",
+    )
+
+
+def _message_page(rng: random.Random, position: int,
+                  message_paths: List[str], index_paths: List[str],
+                  button_paths: List[str]) -> bytes:
+    thread_start = (position // THREAD_SIZE) * THREAD_SIZE
+    thread = message_paths[thread_start:thread_start + THREAD_SIZE]
+    nav: List[Tuple[str, str]] = []
+    if position + 1 < len(message_paths):
+        nav.append((message_paths[position + 1], "next"))
+    if position > 0:
+        nav.append((message_paths[position - 1], "previous"))
+    next_thread = thread_start + THREAD_SIZE
+    if next_thread < len(message_paths):
+        nav.append((message_paths[next_thread], "next thread"))
+    prev_thread = thread_start - THREAD_SIZE
+    if prev_thread >= 0:
+        nav.append((message_paths[prev_thread], "previous thread"))
+    nav.append((index_paths[position // MESSAGES_PER_INDEX], "date index"))
+    nav.append(("/threads.html", "thread index"))
+    for sibling in thread:
+        if sibling != message_paths[position]:
+            nav.append((sibling, "in this thread"))
+    return make_page(f"MAPUG message {position}", nav_links=nav,
+                     images=button_paths, body_bytes=2700, rng=rng)

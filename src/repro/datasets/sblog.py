@@ -1,0 +1,75 @@
+"""SBLog web-statistics report (paper section 5.2, data set 2).
+
+Published statistics: 402 documents, 57,531 links, 8,468 KB aggregate.
+"The statistics report contains overview index files that describe
+activity by date, IP address, and directory, as well as a large number of
+files which describe in-depth details for individual files on the web
+site.  The data set is entirely text, except for one JPEG image, which is
+used to display bar graphs.  This JPEG image file is extremely popular."
+
+The bar-graph JPEG is repeated once per histogram bar on every detail
+page, so almost every page references it — the canonical hot spot that
+caps DCWS scalability without replication (Figure 7 discussion).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.datasets.base import SiteContent, make_image, make_page
+
+DETAIL_COUNT = 390
+BARS_PER_PAGE = 135
+BAR_IMAGE = "/img/bar.jpg"
+OVERVIEWS = ("/by_date.html", "/by_ip.html", "/by_dir.html")
+WEEKLY_COUNT = 7
+
+
+def build_sblog(seed: int = 0) -> SiteContent:
+    """Generate the SBLog statistics report deterministically for *seed*."""
+    rng = random.Random(seed)
+    documents: Dict[str, bytes] = {}
+
+    documents[BAR_IMAGE] = make_image(6144, seed=seed * 1000 + 7, kind="jpeg")
+
+    detail_paths = [f"/detail/file_{i:04d}.html" for i in range(DETAIL_COUNT)]
+    for position, path in enumerate(detail_paths):
+        nav: List[Tuple[str, str]] = [(o, o.strip("/")) for o in OVERVIEWS]
+        nav.append(("/index.html", "report home"))
+        if position + 1 < len(detail_paths):
+            nav.append((detail_paths[position + 1], "next file"))
+        if position > 0:
+            nav.append((detail_paths[position - 1], "previous file"))
+        bars = [BAR_IMAGE] * (BARS_PER_PAGE + rng.randint(-15, 15))
+        documents[path] = make_page(
+            f"Usage detail for file {position}", nav_links=nav,
+            images=bars, body_bytes=14500, rng=rng)
+
+    weekly_paths = [f"/weekly/w{i}.html" for i in range(WEEKLY_COUNT)]
+    for index, path in enumerate(weekly_paths):
+        sample = rng.sample(detail_paths, 12)
+        nav = [(p, "detail") for p in sample] + [("/index.html", "home")]
+        documents[path] = make_page(
+            f"Week {index} summary", nav_links=nav,
+            images=[BAR_IMAGE] * 40, body_bytes=6000, rng=rng)
+
+    for overview in OVERVIEWS:
+        nav = [(p, "detail") for p in detail_paths]
+        nav.append(("/index.html", "home"))
+        documents[overview] = make_page(
+            f"Overview {overview}", nav_links=nav,
+            images=[BAR_IMAGE] * 20, body_bytes=3000, rng=rng)
+
+    entry_nav = [(o, o.strip("/")) for o in OVERVIEWS]
+    entry_nav.extend((p, "weekly") for p in weekly_paths)
+    documents["/index.html"] = make_page(
+        "SBLog Web Statistics", nav_links=entry_nav,
+        images=[BAR_IMAGE], body_bytes=2000, rng=rng)
+
+    return SiteContent(
+        name="sblog",
+        documents=documents,
+        entry_points=["/index.html"],
+        description="web-statistics report; one extremely popular JPEG",
+    )

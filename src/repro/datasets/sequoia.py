@@ -1,0 +1,58 @@
+"""Sequoia 2000 storage-benchmark rasters (paper section 5.2, data set 4).
+
+"The raster data for Sequoia 2000 storage benchmark contains 130 AVHRR
+image files from NOAA satellite.  The images are compressed and in the
+1-2.8 Mbytes range.  We created an HTML front-end page to the Sequoia
+raster data set that includes a hyperlink to each image file."
+
+The original rasters are not redistributable here, so deterministic
+pseudo-random bytes of the published sizes stand in; only sizes matter to
+the evaluation (BPS dominates, CPS is low, scaling is near-linear because
+the 130 large files spread evenly).
+
+``scale`` shrinks every image by that factor to keep memory and wall-clock
+reasonable in continuous-integration runs; EXPERIMENTS.md records results
+at the default scale.  ``scale=1.0`` reproduces the full ~250 MB corpus.
+The default 1/4 keeps rasters large enough (~250-700 KB) that serving
+them — not the front page — remains each sequence's dominant cost, which
+is the regime the paper's Sequoia results live in.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.datasets.base import SiteContent, make_image, make_page
+
+IMAGE_COUNT = 130
+MIN_BYTES = 1_000_000
+MAX_BYTES = 2_800_000
+DEFAULT_SCALE = 1.0 / 4.0
+
+
+def build_sequoia(seed: int = 0, scale: float = DEFAULT_SCALE) -> SiteContent:
+    """Generate the Sequoia raster site; image sizes are ``paper × scale``."""
+    if not (0.0 < scale <= 1.0):
+        raise ValueError(f"scale must be in (0, 1]: {scale}")
+    rng = random.Random(seed)
+    documents: Dict[str, bytes] = {}
+
+    image_paths = [f"/raster/avhrr_{i:03d}.jpg" for i in range(IMAGE_COUNT)]
+    for index, path in enumerate(image_paths):
+        full_size = rng.randint(MIN_BYTES, MAX_BYTES)
+        documents[path] = make_image(max(1024, int(full_size * scale)),
+                                     seed=seed * 3000 + index, kind="jpeg")
+
+    nav: List[Tuple[str, str]] = [(p, f"AVHRR raster {i}")
+                                  for i, p in enumerate(image_paths)]
+    documents["/index.html"] = make_page(
+        "Sequoia 2000 raster archive", nav_links=nav,
+        body_bytes=1200, rng=rng)
+
+    return SiteContent(
+        name="sequoia",
+        documents=documents,
+        entry_points=["/index.html"],
+        description=f"130 large satellite rasters (scale={scale:g})",
+    )

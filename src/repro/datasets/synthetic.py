@@ -1,0 +1,62 @@
+"""Generic synthetic site generator.
+
+Not one of the paper's corpora — a parameterized random site for property
+tests, examples, and ablation benches: choose the number of pages and
+images, mean fan-out, image sharing skew (how concentrated image
+references are, i.e. how strong the hot spot), and page sizes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.datasets.base import SiteContent, make_image, make_page
+
+
+def build_synthetic_site(*, pages: int = 50, images: int = 20,
+                         fanout: int = 5, images_per_page: int = 3,
+                         image_skew: float = 0.0,
+                         page_bytes: int = 2000, image_bytes: int = 2000,
+                         entry_count: int = 1,
+                         seed: int = 0,
+                         name: str = "synthetic") -> SiteContent:
+    """Build a random site.
+
+    ``image_skew`` in [0, 1]: 0 picks images uniformly; 1 makes every page
+    reference image 0 (a maximal hot spot).  Pages form a connected random
+    graph: each page links its successor (a ring, guaranteeing every page
+    is reachable from any entry) plus ``fanout - 1`` random others.
+    """
+    if pages < 1:
+        raise ValueError("need at least one page")
+    if not (0.0 <= image_skew <= 1.0):
+        raise ValueError("image_skew must be within [0, 1]")
+    rng = random.Random(seed)
+    documents: Dict[str, bytes] = {}
+
+    image_paths = [f"/img/i{k:03d}.gif" for k in range(images)]
+    for index, path in enumerate(image_paths):
+        documents[path] = make_image(image_bytes, seed=seed * 5000 + index)
+
+    page_paths = [f"/page{k:03d}.html" for k in range(pages)]
+    for index, path in enumerate(page_paths):
+        nav: List[Tuple[str, str]] = [(page_paths[(index + 1) % pages], "next")]
+        for __ in range(max(0, fanout - 1)):
+            nav.append((page_paths[rng.randrange(pages)], "related"))
+        chosen: List[str] = []
+        for __ in range(min(images_per_page, images)):
+            if images == 0:
+                break
+            if rng.random() < image_skew:
+                chosen.append(image_paths[0])
+            else:
+                chosen.append(image_paths[rng.randrange(images)])
+        documents[path] = make_page(f"Page {index}", nav_links=nav,
+                                    images=chosen, body_bytes=page_bytes,
+                                    rng=rng)
+
+    entries = page_paths[:max(1, min(entry_count, pages))]
+    return SiteContent(name=name, documents=documents,
+                       entry_points=list(entries),
+                       description="synthetic random site")

@@ -1,0 +1,64 @@
+"""Exception hierarchy shared by every subsystem of the DCWS reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch one base class at the API boundary.  Subsystems define narrower types
+here rather than in their own modules so that low-level packages (``http``,
+``html``) never import higher-level ones.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` library."""
+
+
+class HTTPError(ReproError):
+    """Malformed HTTP message, header, or URL."""
+
+
+class URLError(HTTPError):
+    """A URL could not be parsed, joined, or encoded."""
+
+
+class HTMLParseError(ReproError):
+    """The HTML tokenizer/parser met input it cannot recover from.
+
+    The parser is deliberately lenient (real-world 1998 HTML is messy), so
+    this is raised only for conditions that indicate a caller bug, such as
+    serializing a foreign object injected into a parse tree.
+    """
+
+
+class DocumentNotFound(ReproError):
+    """A requested document name has no tuple in the local document graph."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"document not found: {name!r}")
+        self.name = name
+
+
+class MigrationError(ReproError):
+    """A document-migration operation violated a policy invariant.
+
+    Examples: migrating a well-known entry point, migrating a document that
+    is already hosted by a co-op server, or revoking a document that was
+    never migrated.
+    """
+
+
+class NamingError(ReproError):
+    """A migrated-document URL does not follow the ``~migrate`` convention."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator detected an inconsistency.
+
+    Raised for programming errors such as scheduling an event in the past or
+    running a cluster with no clients; never raised for modelled phenomena
+    like dropped requests (those are results, not errors).
+    """
+
+
+class ConfigError(ReproError):
+    """A server/benchmark configuration value is out of its valid domain."""

@@ -1,0 +1,52 @@
+"""Turn a parse tree back into a stream of HTML (paper section 4.3).
+
+Serialization is canonical rather than byte-preserving: attributes are
+emitted double-quoted and entity-escaped, tags lower-case.  The guaranteed
+invariant — covered by property tests — is that re-parsing the output
+yields an identical link set and identical text content, which is all the
+DCWS system (and a browser) observes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import HTMLParseError
+from repro.html.parser import CommentNode, Document, DoctypeNode, Element, Node, Text
+from repro.html.tokenizer import VOID_ELEMENTS, escape_attribute
+
+
+def serialize_html(document: Document) -> str:
+    """Render *document* as an HTML string."""
+    parts: List[str] = []
+    for node in document.children:
+        _serialize_node(node, parts)
+    return "".join(parts)
+
+
+def _serialize_node(node: Node, parts: List[str]) -> None:
+    if isinstance(node, Text):
+        parts.append(node.data)
+    elif isinstance(node, CommentNode):
+        parts.append(f"<!--{node.data}-->")
+    elif isinstance(node, DoctypeNode):
+        parts.append(f"<!{node.data}>")
+    elif isinstance(node, Element):
+        _serialize_element(node, parts)
+    else:
+        raise HTMLParseError(f"foreign node in parse tree: {node!r}")
+
+
+def _serialize_element(element: Element, parts: List[str]) -> None:
+    parts.append(f"<{element.name}")
+    for name, value in element.tag.attrs:
+        if value is None:
+            parts.append(f" {name}")
+        else:
+            parts.append(f' {name}="{escape_attribute(value)}"')
+    parts.append(">")
+    if element.name in VOID_ELEMENTS:
+        return
+    for child in element.children:
+        _serialize_node(child, parts)
+    parts.append(f"</{element.name}>")

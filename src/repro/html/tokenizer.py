@@ -1,0 +1,328 @@
+"""A tolerant HTML tokenizer.
+
+Splits raw HTML into a flat stream of tokens: text runs, start tags (with
+their attributes), end tags, comments, and doctype declarations.  The
+tokenizer never raises on malformed markup — real 1998-era pages contain
+unquoted attributes, missing quotes, bare ampersands and stray ``<`` — it
+instead degrades gracefully by treating unparseable ``<`` as literal text,
+the same recovery strategy browsers of the period used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple, Union
+
+# Tags that never have content or an end tag (HTML 4 "empty" elements).
+VOID_ELEMENTS = frozenset({
+    "area", "base", "basefont", "br", "col", "frame", "hr",
+    "img", "input", "isindex", "link", "meta", "param",
+})
+
+# Elements whose raw content must not be tokenized as markup.
+RAW_TEXT_ELEMENTS = frozenset({"script", "style"})
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ")
+_NAME_CHARS = _NAME_START | set("0123456789-_:.")
+_SPACE = set(" \t\r\n\f")
+
+
+@dataclass
+class TextToken:
+    """A run of character data between tags."""
+
+    data: str
+
+
+@dataclass
+class StartTag:
+    """``<name attr=value ...>``; attribute order is preserved.
+
+    Attribute values are stored unescaped; names are lower-cased.  A value
+    of ``None`` records a bare attribute (``<input checked>``).
+    """
+
+    name: str
+    attrs: List[Tuple[str, Optional[str]]] = field(default_factory=list)
+    self_closing: bool = False
+
+    def get_attr(self, name: str) -> Optional[str]:
+        key = name.lower()
+        for attr_name, attr_value in self.attrs:
+            if attr_name == key:
+                return attr_value
+        return None
+
+    def set_attr(self, name: str, value: Optional[str]) -> None:
+        key = name.lower()
+        for index, (attr_name, _) in enumerate(self.attrs):
+            if attr_name == key:
+                self.attrs[index] = (attr_name, value)
+                return
+        self.attrs.append((key, value))
+
+
+@dataclass
+class EndTag:
+    """``</name>``."""
+
+    name: str
+
+
+@dataclass
+class Comment:
+    """``<!-- data -->``."""
+
+    data: str
+
+
+@dataclass
+class Doctype:
+    """``<!DOCTYPE ...>`` (content kept verbatim)."""
+
+    data: str
+
+
+Token = Union[TextToken, StartTag, EndTag, Comment, Doctype]
+
+
+class _Scanner:
+    """Character cursor over the source text."""
+
+    __slots__ = ("text", "pos", "length")
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    def eof(self) -> bool:
+        return self.pos >= self.length
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < self.length else ""
+
+    def advance(self) -> str:
+        ch = self.text[self.pos]
+        self.pos += 1
+        return ch
+
+    def skip_space(self) -> None:
+        while self.pos < self.length and self.text[self.pos] in _SPACE:
+            self.pos += 1
+
+    def take_until(self, needle: str) -> str:
+        """Consume up to (not including) *needle*; to EOF if absent."""
+        index = self.text.find(needle, self.pos)
+        if index < 0:
+            chunk = self.text[self.pos:]
+            self.pos = self.length
+            return chunk
+        chunk = self.text[self.pos:index]
+        self.pos = index
+        return chunk
+
+
+def tokenize_html(source: str) -> List[Token]:
+    """Tokenize *source* into a list of tokens.
+
+    >>> tokenize_html('<a href="x.html">go</a>')
+    [StartTag(name='a', attrs=[('href', 'x.html')], self_closing=False), \
+TextToken(data='go'), EndTag(name='a')]
+    """
+    return list(iter_tokens(source))
+
+
+def iter_tokens(source: str) -> Iterator[Token]:
+    """Yield tokens lazily; see :func:`tokenize_html`."""
+    scanner = _Scanner(source)
+    raw_until: Optional[str] = None  # inside <script>/<style>: name to close on
+    while not scanner.eof():
+        if raw_until is not None:
+            token = _scan_raw_text(scanner, raw_until)
+            raw_until = None
+            if token is not None:
+                yield token
+            continue
+        if scanner.peek() != "<":
+            text = scanner.take_until("<")
+            if text:
+                yield TextToken(text)
+            continue
+        token = _scan_markup(scanner)
+        if token is None:
+            continue
+        yield token
+        if isinstance(token, StartTag) and token.name in RAW_TEXT_ELEMENTS \
+                and not token.self_closing:
+            raw_until = token.name
+
+
+def _scan_raw_text(scanner: _Scanner, name: str) -> Optional[Token]:
+    """Consume raw content up to ``</name``; yields the text then lets the
+    normal path consume the end tag."""
+    closer = f"</{name}"
+    lower = scanner.text.lower()
+    index = lower.find(closer, scanner.pos)
+    if index < 0:
+        data = scanner.text[scanner.pos:]
+        scanner.pos = scanner.length
+    else:
+        data = scanner.text[scanner.pos:index]
+        scanner.pos = index
+    return TextToken(data) if data else None
+
+
+def _scan_markup(scanner: _Scanner) -> Optional[Token]:
+    start = scanner.pos
+    scanner.advance()  # consume '<'
+    ch = scanner.peek()
+    if ch == "!":
+        return _scan_declaration(scanner)
+    if ch == "/":
+        scanner.advance()
+        return _scan_end_tag(scanner, start)
+    if ch in _NAME_START:
+        return _scan_start_tag(scanner, start)
+    # Not a tag: emit the '<' as literal text (browser-style recovery).
+    return TextToken("<")
+
+
+def _scan_declaration(scanner: _Scanner) -> Optional[Token]:
+    scanner.advance()  # consume '!'
+    if scanner.text.startswith("--", scanner.pos):
+        scanner.pos += 2
+        data = scanner.take_until("-->")
+        if not scanner.eof():
+            scanner.pos += 3
+        return Comment(data)
+    data = scanner.take_until(">")
+    if not scanner.eof():
+        scanner.advance()
+    return Doctype(data)
+
+
+def _scan_name(scanner: _Scanner) -> str:
+    chars: List[str] = []
+    while not scanner.eof() and scanner.peek() in _NAME_CHARS:
+        chars.append(scanner.advance())
+    return "".join(chars).lower()
+
+
+def _scan_end_tag(scanner: _Scanner, start: int) -> Token:
+    name = _scan_name(scanner)
+    if not name:
+        # "</>" or "</ garbage": recover as text.
+        scanner.take_until(">")
+        if not scanner.eof():
+            scanner.advance()
+        return TextToken(scanner.text[start:scanner.pos])
+    scanner.take_until(">")
+    if not scanner.eof():
+        scanner.advance()
+    return EndTag(name)
+
+
+def _scan_start_tag(scanner: _Scanner, start: int) -> Token:
+    name = _scan_name(scanner)
+    tag = StartTag(name=name)
+    while True:
+        scanner.skip_space()
+        if scanner.eof():
+            return tag
+        ch = scanner.peek()
+        if ch == ">":
+            scanner.advance()
+            return tag
+        if ch == "/":
+            scanner.advance()
+            scanner.skip_space()
+            if scanner.peek() == ">":
+                scanner.advance()
+                tag.self_closing = True
+                return tag
+            continue  # stray '/': skip it
+        attr = _scan_attribute(scanner)
+        if attr is None:
+            # Unparseable character inside the tag: skip it.
+            scanner.advance()
+            continue
+        tag.attrs.append(attr)
+
+
+def _scan_attribute(scanner: _Scanner) -> Optional[Tuple[str, Optional[str]]]:
+    if scanner.peek() not in _NAME_CHARS:
+        return None
+    chars: List[str] = []
+    while not scanner.eof() and scanner.peek() in _NAME_CHARS:
+        chars.append(scanner.advance())
+    name = "".join(chars).lower()
+    scanner.skip_space()
+    if scanner.peek() != "=":
+        return (name, None)
+    scanner.advance()
+    scanner.skip_space()
+    quote = scanner.peek()
+    if quote in ('"', "'"):
+        scanner.advance()
+        value = scanner.take_until(quote)
+        if not scanner.eof():
+            scanner.advance()
+        return (name, unescape_entities(value))
+    # Unquoted value: runs to whitespace or '>'.
+    chars = []
+    while not scanner.eof() and scanner.peek() not in _SPACE and scanner.peek() != ">":
+        chars.append(scanner.advance())
+    return (name, unescape_entities("".join(chars)))
+
+
+_ENTITIES = {
+    "amp": "&", "lt": "<", "gt": ">", "quot": '"', "apos": "'", "nbsp": "\xa0",
+}
+
+
+def unescape_entities(text: str) -> str:
+    """Resolve the small set of character entities that matter for URLs."""
+    if "&" not in text:
+        return text
+    out: List[str] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        ch = text[index]
+        if ch != "&":
+            out.append(ch)
+            index += 1
+            continue
+        semi = text.find(";", index + 1, index + 10)
+        if semi < 0:
+            out.append(ch)
+            index += 1
+            continue
+        entity = text[index + 1:semi]
+        if entity.startswith("#"):
+            try:
+                code = int(entity[2:], 16) if entity[1:2] in ("x", "X") \
+                    else int(entity[1:])
+                out.append(chr(code))
+                index = semi + 1
+                continue
+            except ValueError:
+                pass
+        elif entity in _ENTITIES:
+            out.append(_ENTITIES[entity])
+            index = semi + 1
+            continue
+        out.append(ch)
+        index += 1
+    return "".join(out)
+
+
+def escape_attribute(value: str) -> str:
+    """Escape a value for inclusion in a double-quoted attribute."""
+    return value.replace("&", "&amp;").replace('"', "&quot;")
+
+
+def escape_text(value: str) -> str:
+    """Escape character data."""
+    return value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")

@@ -1,0 +1,49 @@
+"""Minimal HTTP cookie support (Netscape-era semantics).
+
+Only what the entry-gate mechanism (paper section 3.1) needs: parse a
+``Cookie`` request header into name/value pairs, and build/parse
+``Set-Cookie`` response headers.  Attributes other than ``Path`` are
+ignored on parse — 1998 clients did little more.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+
+def parse_cookie_header(value: str) -> Dict[str, str]:
+    """``"a=1; b=2"`` -> ``{"a": "1", "b": "2"}`` (malformed pairs skipped).
+
+    >>> parse_cookie_header("dcws_session=abc; theme=dark")
+    {'dcws_session': 'abc', 'theme': 'dark'}
+    """
+    cookies: Dict[str, str] = {}
+    for part in value.split(";"):
+        name, sep, item_value = part.strip().partition("=")
+        if sep and name:
+            cookies[name.strip()] = item_value.strip()
+    return cookies
+
+
+def build_cookie_header(cookies: Dict[str, str]) -> str:
+    """Inverse of :func:`parse_cookie_header`; deterministic ordering."""
+    return "; ".join(f"{name}={value}"
+                     for name, value in sorted(cookies.items()))
+
+
+def build_set_cookie(name: str, value: str, *, path: str = "/",
+                     max_age: Optional[int] = None) -> str:
+    """A ``Set-Cookie`` header value."""
+    parts = [f"{name}={value}", f"Path={path}"]
+    if max_age is not None:
+        parts.append(f"Max-Age={max_age}")
+    return "; ".join(parts)
+
+
+def parse_set_cookie(value: str) -> Optional[Tuple[str, str]]:
+    """Extract ``(name, value)`` from a ``Set-Cookie`` header, or None."""
+    first = value.split(";", 1)[0]
+    name, sep, item_value = first.partition("=")
+    if not sep or not name.strip():
+        return None
+    return name.strip(), item_value.strip()

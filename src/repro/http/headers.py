@@ -1,0 +1,150 @@
+"""Case-insensitive, multi-valued HTTP header collection.
+
+HTTP header field names are case-insensitive (RFC 2616 section 4.2) and a
+field may appear multiple times.  :class:`Headers` preserves the original
+casing and insertion order for serialization while indexing lookups by the
+lower-cased name.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import HTTPError
+
+# Characters permitted in an HTTP token (RFC 2616 section 2.2): any CHAR
+# except control characters and separators.
+_SEPARATORS = set('()<>@,;:\\"/[]?={} \t')
+
+
+# Header names repeat constantly (Content-Type, Content-Length, X-DCWS-*),
+# so validation results are memoized; the cache is bounded to keep a
+# hostile stream of unique names from growing it without limit.
+_TOKEN_CACHE: dict = {}
+_TOKEN_CACHE_LIMIT = 4096
+
+
+def _is_token(name: str) -> bool:
+    cached = _TOKEN_CACHE.get(name)
+    if cached is not None:
+        return cached
+    valid = bool(name)
+    for ch in name:
+        if ord(ch) < 32 or ord(ch) > 126 or ch in _SEPARATORS:
+            valid = False
+            break
+    if len(_TOKEN_CACHE) < _TOKEN_CACHE_LIMIT:
+        _TOKEN_CACHE[name] = valid
+    return valid
+
+
+class Headers:
+    """An ordered, case-insensitive multimap of HTTP header fields.
+
+    >>> h = Headers()
+    >>> h.add("Content-Type", "text/html")
+    >>> h.get("content-type")
+    'text/html'
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Optional[Iterable[Tuple[str, str]]] = None) -> None:
+        self._items: List[Tuple[str, str]] = []
+        if items is not None:
+            for name, value in items:
+                self.add(name, value)
+
+    def add(self, name: str, value: str) -> None:
+        """Append a header field, keeping any existing fields of that name."""
+        if not _is_token(name):
+            raise HTTPError(f"invalid header field name: {name!r}")
+        value = str(value).strip()
+        if "\r" in value or "\n" in value:
+            raise HTTPError(f"header value contains line break: {value!r}")
+        self._items.append((name, value))
+
+    def set(self, name: str, value: str) -> None:
+        """Replace every field named *name* with a single field."""
+        self.remove(name)
+        self.add(name, value)
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """Return the first value for *name*, or *default* if absent."""
+        key = name.lower()
+        for item_name, item_value in self._items:
+            if item_name.lower() == key:
+                return item_value
+        return default
+
+    def get_all(self, name: str) -> List[str]:
+        """Return every value for *name* in insertion order."""
+        key = name.lower()
+        return [v for n, v in self._items if n.lower() == key]
+
+    def get_int(self, name: str, default: Optional[int] = None) -> Optional[int]:
+        """Return the first value for *name* parsed as an integer."""
+        raw = self.get(name)
+        if raw is None:
+            return default
+        try:
+            return int(raw)
+        except ValueError as exc:
+            raise HTTPError(f"header {name} is not an integer: {raw!r}") from exc
+
+    def remove(self, name: str) -> int:
+        """Delete every field named *name*; return how many were removed."""
+        key = name.lower()
+        before = len(self._items)
+        self._items = [(n, v) for n, v in self._items if n.lower() != key]
+        return before - len(self._items)
+
+    def items(self) -> Iterator[Tuple[str, str]]:
+        return iter(self._items)
+
+    def copy(self) -> "Headers":
+        return Headers(self._items)
+
+    def serialize(self) -> str:
+        """Render the fields as CRLF-terminated lines (no trailing blank)."""
+        return "".join(f"{name}: {value}\r\n" for name, value in self._items)
+
+    @classmethod
+    def parse_lines(cls, lines: Iterable[str]) -> "Headers":
+        """Build a collection from ``Name: value`` lines.
+
+        Continuation lines (obsolete line folding, leading whitespace) are
+        appended to the previous field's value.
+        """
+        headers = cls()
+        for line in lines:
+            line = line.rstrip("\r\n")
+            if not line:
+                continue
+            if line[0] in " \t":
+                if not headers._items:
+                    raise HTTPError("continuation line before any header field")
+                name, value = headers._items[-1]
+                headers._items[-1] = (name, value + " " + line.strip())
+                continue
+            name, sep, value = line.partition(":")
+            if not sep:
+                raise HTTPError(f"malformed header line: {line!r}")
+            headers.add(name.strip(), value)
+        return headers
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and self.get(name) is not None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Headers):
+            return NotImplemented
+        mine = [(n.lower(), v) for n, v in self._items]
+        theirs = [(n.lower(), v) for n, v in other._items]
+        return mine == theirs
+
+    def __repr__(self) -> str:
+        return f"Headers({self._items!r})"

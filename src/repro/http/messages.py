@@ -1,0 +1,154 @@
+"""HTTP request and response messages with wire (de)serialization.
+
+These objects are shared verbatim between the real socket server
+(:mod:`repro.server.threaded`) and the discrete-event simulator
+(:mod:`repro.sim`): the simulator constructs the same :class:`Request` and
+:class:`Response` values it would have read off a socket, so the DCWS engine
+cannot tell which transport it is running on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.errors import HTTPError
+from repro.http.headers import Headers
+from repro.http.status import StatusCode, reason_phrase
+
+SUPPORTED_METHODS = ("GET", "HEAD", "POST")
+SUPPORTED_VERSIONS = ("HTTP/1.0", "HTTP/1.1")
+
+
+@dataclass
+class Request:
+    """An HTTP request as the DCWS front-end sees it.
+
+    ``target`` is the origin-form request target (``/path?query``).
+    ``body`` is kept as bytes; the prototype only ever uses empty bodies.
+    """
+
+    method: str
+    target: str
+    headers: Headers = field(default_factory=Headers)
+    version: str = "HTTP/1.0"
+    body: bytes = b""
+
+    def __post_init__(self) -> None:
+        if self.method not in SUPPORTED_METHODS:
+            raise HTTPError(f"unsupported method: {self.method!r}")
+        if self.version not in SUPPORTED_VERSIONS:
+            raise HTTPError(f"unsupported HTTP version: {self.version!r}")
+        if not self.target.startswith("/"):
+            raise HTTPError(f"request target must be origin-form: {self.target!r}")
+
+    @property
+    def path(self) -> str:
+        """The target without its query string."""
+        return self.target.split("?", 1)[0]
+
+    def serialize(self) -> bytes:
+        """Render the request in wire form."""
+        headers = self.headers.copy()
+        if self.body and "content-length" not in headers:
+            headers.set("Content-Length", str(len(self.body)))
+        head = f"{self.method} {self.target} {self.version}\r\n{headers.serialize()}\r\n"
+        return head.encode("latin-1") + self.body
+
+
+@dataclass
+class Response:
+    """An HTTP response.
+
+    ``body`` carries the document bytes in real-transport mode.  In
+    simulation mode the body may be empty while ``headers`` still carry the
+    byte count the transport should account for (see
+    :class:`repro.sim.simserver.SimServer`).
+    """
+
+    status: int
+    headers: Headers = field(default_factory=Headers)
+    body: bytes = b""
+    version: str = "HTTP/1.0"
+
+    @property
+    def reason(self) -> str:
+        return reason_phrase(self.status)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def serialize(self) -> bytes:
+        """Render the response in wire form (always with Content-Length)."""
+        headers = self.headers.copy()
+        if "content-length" not in headers:
+            headers.set("Content-Length", str(len(self.body)))
+        head = f"{self.version} {self.status} {self.reason}\r\n{headers.serialize()}\r\n"
+        return head.encode("latin-1") + self.body
+
+
+def _split_head(data: bytes) -> Tuple[str, bytes]:
+    separator = data.find(b"\r\n\r\n")
+    if separator < 0:
+        raise HTTPError("message head not terminated by blank line")
+    head = data[:separator].decode("latin-1")
+    body = data[separator + 4:]
+    return head, body
+
+
+def parse_request(data: bytes) -> Request:
+    """Parse a serialized request (head and body must be complete)."""
+    head, body = _split_head(data)
+    lines = head.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise HTTPError(f"malformed request line: {lines[0]!r}")
+    method, target, version = parts
+    headers = Headers.parse_lines(lines[1:])
+    length = headers.get_int("content-length", 0) or 0
+    return Request(method=method, target=target, headers=headers,
+                   version=version, body=body[:length])
+
+
+def parse_response(data: bytes) -> Response:
+    """Parse a serialized response (head and body must be complete)."""
+    head, body = _split_head(data)
+    lines = head.split("\r\n")
+    parts = lines[0].split(" ", 2)
+    if len(parts) < 2:
+        raise HTTPError(f"malformed status line: {lines[0]!r}")
+    version, status_text = parts[0], parts[1]
+    try:
+        status = int(status_text)
+    except ValueError as exc:
+        raise HTTPError(f"non-numeric status code: {status_text!r}") from exc
+    headers = Headers.parse_lines(lines[1:])
+    length = headers.get_int("content-length")
+    if length is not None:
+        body = body[:length]
+    return Response(status=status, headers=headers, body=body, version=version)
+
+
+def redirect_response(location: str, version: str = "HTTP/1.0") -> Response:
+    """Build the 301 redirect a home server sends for a migrated document
+    (paper section 4.4)."""
+    headers = Headers()
+    headers.set("Location", location)
+    body = (f"<html><head><title>301 Moved</title></head>"
+            f"<body>Moved to <a href=\"{location}\">{location}</a></body></html>"
+            ).encode("latin-1")
+    headers.set("Content-Type", "text/html")
+    return Response(status=StatusCode.MOVED_PERMANENTLY, headers=headers,
+                    body=body, version=version)
+
+
+def error_response(status: int, detail: str = "", version: str = "HTTP/1.0") -> Response:
+    """Build a minimal HTML error response (404, 503, ...)."""
+    reason = reason_phrase(status)
+    headers = Headers()
+    headers.set("Content-Type", "text/html")
+    body = (f"<html><head><title>{status} {reason}</title></head>"
+            f"<body><h1>{status} {reason}</h1>{detail}</body></html>"
+            ).encode("latin-1")
+    return Response(status=status, headers=headers, body=body, version=version)

@@ -1,0 +1,35 @@
+"""Server layer: document stores, the DCWS request engine, real threads.
+
+:class:`~repro.server.engine.DCWSEngine` is transport-independent — it is
+hosted unchanged by both the real multithreaded socket server
+(:class:`~repro.server.threaded.ThreadedDCWSServer`, mirroring the paper's
+prototype of section 5.1) and the discrete-event simulator
+(:mod:`repro.sim`), so every policy decision measured in the benchmarks is
+made by the same code that serves real sockets.
+"""
+
+from repro.server.engine import (
+    DCWSEngine,
+    EngineReply,
+    OutboundAction,
+    PullFromHome,
+)
+from repro.server.filestore import (
+    DiskStore,
+    DocumentStore,
+    MemoryStore,
+    guess_content_type,
+)
+from repro.server.threaded import ThreadedDCWSServer
+
+__all__ = [
+    "DCWSEngine",
+    "DiskStore",
+    "DocumentStore",
+    "EngineReply",
+    "MemoryStore",
+    "OutboundAction",
+    "PullFromHome",
+    "ThreadedDCWSServer",
+    "guess_content_type",
+]

@@ -1,0 +1,101 @@
+"""Operator-facing status pages served under ``/~dcws/``.
+
+A DCWS server answers four plain-text administrative endpoints:
+
+- ``/~dcws/status`` — one-screen summary: documents, migrations, hosted
+  copies, request counters, load table size;
+- ``/~dcws/graph``  — the Local Document Graph, one tuple per line
+  (the paper's Figure 2, live);
+- ``/~dcws/load``   — the Global Load Table as this server sees it;
+- ``/~dcws/events`` — the tail of the structured event log.
+
+They are rendered here (pure functions over engine state) and dispatched
+by :meth:`repro.server.engine.DCWSEngine.handle_request`, so both the real
+server and the simulator expose them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+ADMIN_PREFIX = "/~dcws/"
+
+
+def render_status(engine) -> str:
+    """The one-screen summary."""
+    stats = engine.stats
+    lines: List[str] = [
+        f"DCWS server {engine.location}",
+        "",
+        f"documents (home)        {len(engine.graph)}",
+        f"  migrated away         {len(engine.graph.migrated_documents())}",
+        f"  entry points          {len(engine.graph.entry_points())}",
+        f"  dirty                 "
+        f"{sum(1 for r in engine.graph.documents() if r.dirty)}",
+        f"hosted foreign copies   "
+        f"{sum(1 for h in engine.hosted.values() if h.fetched)}",
+        f"known servers (GLT)     {len(engine.glt)}",
+        "",
+        f"requests                {stats.requests}",
+        f"  200 OK                {stats.responses_200}",
+        f"  301 redirects         {stats.responses_301}",
+        f"  304 not modified      {stats.responses_304}",
+        f"  404 not found         {stats.responses_404}",
+        f"reconstructions         {stats.reconstructions}",
+        f"migrations              {stats.migrations}",
+        f"revocations             {stats.revocations}",
+        f"replications            {stats.replications}",
+        f"pulls started/completed {stats.pulls_started}/{stats.pulls_completed}",
+        f"validations             {stats.validations}",
+        f"pings                   {stats.pings}",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def render_graph(engine) -> str:
+    """The LDG as a fixed-width table (paper Figure 2)."""
+    header = (f"{'Name':<40} {'Location':<22} {'Size':>8} {'Hits':>8} "
+              f"{'LinkTo':>6} {'LinkFrom':>8} {'Dirty':>5}")
+    lines = [header, "-" * len(header)]
+    for name in engine.graph.names():
+        record = engine.graph.get(name)
+        lines.append(
+            f"{record.name:<40} {str(record.location):<22} "
+            f"{record.size:>8} {record.hits:>8} "
+            f"{len(record.link_to):>6} {len(record.link_from):>8} "
+            f"{1 if record.dirty else 0:>5}")
+    return "\n".join(lines) + "\n"
+
+
+def render_load_table(engine) -> str:
+    """The GLT rows, newest-first information included."""
+    lines = [f"{'Server':<24} {'LoadMetric':>12} {'Timestamp':>14}"]
+    lines.append("-" * len(lines[0]))
+    for report in engine.glt.snapshot():
+        timestamp = ("never" if report.timestamp == float("-inf")
+                     else f"{report.timestamp:.3f}")
+        lines.append(f"{report.server:<24} {report.metric:>12.3f} "
+                     f"{timestamp:>14}")
+    return "\n".join(lines) + "\n"
+
+
+def render_events(engine, limit: int = 50) -> str:
+    """The event-log tail plus lifetime counts."""
+    counts = engine.log.counts()
+    lines = ["event counts:"]
+    for kind in sorted(counts):
+        lines.append(f"  {kind:<20} {counts[kind]}")
+    lines.append("")
+    lines.append(f"last {limit} events:")
+    tail = engine.log.render_tail(limit)
+    lines.append(tail if tail else "  (none)")
+    return "\n".join(lines) + "\n"
+
+
+#: endpoint path (under /~dcws/) -> renderer
+ENDPOINTS = {
+    "status": render_status,
+    "graph": render_graph,
+    "load": render_load_table,
+    "events": render_events,
+}

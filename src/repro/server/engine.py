@@ -1,0 +1,789 @@
+"""The DCWS request engine: transport-independent server behaviour.
+
+One :class:`DCWSEngine` embodies everything a DCWS server does apart from
+moving bytes over a network:
+
+- serve local documents, regenerating dirty ones with rewritten hyperlinks
+  (paper section 4.3);
+- answer requests for documents migrated *away* with a 301 redirect
+  (section 4.4);
+- act as a co-op server for documents migrated *to* it, pulling the bytes
+  from the home server on first use — lazy migration (section 4.2);
+- run the periodic machinery: statistics re-calculation and migration
+  decisions every T_st, document validation every T_val, pinging every
+  T_pi (sections 3.3, 4.5);
+- piggyback and merge global-load-table rows on every server-to-server
+  transfer (section 3.3).
+
+The engine never sleeps, spawns threads, or opens sockets.  Time is an
+explicit ``now`` argument and all outbound communication is returned as
+*directives* (:class:`PullFromHome`, :class:`OutboundAction`) that the host
+— the real threaded server or the simulator — executes and completes.
+This is what lets the benchmarks drive the identical policy code under
+virtual time.
+
+The engine is not itself thread-safe; hosts serialize access (the threaded
+server with a lock, the simulator by construction).
+
+A note on the naming convention's pull-through property: a co-op serves
+*any* ``/~migrate/h/p/path`` request by pulling from ``h:p``, whether or
+not the home server explicitly migrated that document here.  Migrated
+documents therefore have their own outgoing links rewritten to absolute
+URLs at regeneration time, so relative links inside them cannot silently
+turn the co-op into an accidental mirror of the whole site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.core.config import ServerConfig
+from repro.core.consistency import DueTracker, PeerHealth
+from repro.core.eventlog import EventLog
+from repro.core.document import DocumentRecord, Location
+from repro.core.glt import GlobalLoadTable
+from repro.core.ldg import LocalDocumentGraph
+from repro.core.metrics import ServerMetrics
+from repro.core.migration import MigrationDecision, MigrationPolicy
+from repro.core.naming import (
+    decode_migrated_path,
+    encode_migrated_path,
+    home_url,
+    is_migrated_path,
+    migrated_url,
+)
+from repro.errors import NamingError
+from repro.html.links import extract_links
+from repro.html.parser import parse_html
+from repro.html.rewriter import rewrite_links
+from repro.html.serializer import serialize_html
+from repro.http.headers import Headers
+from repro.http.messages import Request, Response, error_response, redirect_response
+from repro.http.piggyback import (
+    attach_load_reports,
+    extract_load_reports,
+    extract_sender,
+)
+from repro.http.status import StatusCode
+from repro.http.cookies import (
+    build_set_cookie,
+    parse_cookie_header,
+)
+from repro.http.urls import URL, join_url, normalize_path, strip_fragment
+from repro.server.admin import ADMIN_PREFIX
+from repro.server.entrygate import COOKIE_NAME, EntryGate
+from repro.server.filestore import DocumentStore, guess_content_type
+
+VERSION_HEADER = "X-DCWS-Version"
+PURPOSE_HEADER = "X-DCWS-Purpose"
+# A co-op piggybacks the hits a hosted document received since its last
+# validation; the home credits them to the document's LDG tuple, so
+# selection/re-migration/replication see demand that lands on co-ops.
+HOSTED_HITS_HEADER = "X-DCWS-Hosted-Hits"
+
+
+@dataclass
+class EngineReply:
+    """A finished response plus accounting the host may need.
+
+    ``reconstructed`` flags that serving this request required a full
+    parse-and-regenerate pass (the ~20 ms cost of section 5.3);
+    ``parsed_only`` flags a parse without regeneration (~3 ms).
+    """
+
+    response: Response
+    doc_name: str = ""
+    reconstructed: bool = False
+    parsed_only: bool = False
+
+
+@dataclass
+class PullFromHome:
+    """Directive: fetch a migrated document's bytes from its home server.
+
+    The host sends ``request`` to ``home`` and passes the answer to
+    :meth:`DCWSEngine.complete_pull` together with this directive.
+    """
+
+    key: str               # migrated-form path on this co-op
+    home: Location
+    original: str          # path on the home server
+    request: Request
+    client_request: Request
+
+
+@dataclass
+class OutboundAction:
+    """Directive: a periodic server-to-server transfer.
+
+    ``kind`` is ``"ping"`` (forced load-information exchange / liveness
+    probe) or ``"validate"`` (co-op consistency re-request).  The host
+    sends ``request`` to ``peer`` and reports the outcome through
+    :meth:`DCWSEngine.complete_action`; a ``None`` response means the peer
+    was unreachable.
+    """
+
+    kind: str
+    peer: Location
+    request: Request
+    key: str = ""          # hosted key, for validations
+
+
+@dataclass
+class HostedDocument:
+    """Co-op-side record of one document migrated (or pulled through) here."""
+
+    key: str               # migrated-form path, e.g. /~migrate/h/80/a.html
+    home: Location
+    original: str          # original path on the home server
+    fetched: bool = False
+    size: int = 0
+    hits: int = 0
+    version: str = ""      # home's version, echoed for 304 validation
+    content_type: str = "text/html"
+    hits_reported: int = 0  # hits already piggybacked back to the home
+
+
+@dataclass
+class EngineStats:
+    """Cumulative counters surfaced to benchmarks and tests."""
+
+    requests: int = 0
+    responses_200: int = 0
+    responses_301: int = 0
+    responses_304: int = 0
+    responses_404: int = 0
+    bytes_sent: int = 0
+    reconstructions: int = 0
+    parses: int = 0
+    pulls_started: int = 0
+    pulls_completed: int = 0
+    validations: int = 0
+    pings: int = 0
+    migrations: int = 0
+    revocations: int = 0
+    replications: int = 0
+    decisions: List[MigrationDecision] = field(default_factory=list)
+
+
+# Approximate wire overhead of a response head, counted into BPS the same
+# way the paper's servers saw connection bytes beyond the document body.
+RESPONSE_HEAD_OVERHEAD = 160
+
+
+class DCWSEngine:
+    """One DCWS server's complete behaviour, minus transport and threads."""
+
+    def __init__(self, location: Location, config: ServerConfig,
+                 store: DocumentStore, *,
+                 entry_points: Iterable[str] = (),
+                 peers: Iterable[Location] = ()) -> None:
+        self.location = location
+        self.config = config
+        self.store = store
+        self.graph = LocalDocumentGraph(
+            location, enforce_entry_home=config.protect_entry_points)
+        self.glt = GlobalLoadTable(location)
+        self.policy = MigrationPolicy(config, self.graph, self.glt)
+        self.metrics = ServerMetrics(config.stats_interval)
+        self.validation = DueTracker(config.validation_interval)
+        self.health = PeerHealth(config.ping_failure_limit)
+        self.hosted: Dict[str, HostedDocument] = {}
+        self.stats = EngineStats()
+        self.log = EventLog()
+        self.entry_gate: Optional[EntryGate] = None
+        if config.entry_gate_secret:
+            self.entry_gate = EntryGate(config.entry_gate_secret,
+                                        config.entry_gate_ttl)
+        self._entry_points = {normalize_path(p) for p in entry_points}
+        self._last_stats_at: Optional[float] = None
+        self._last_ping_at: Optional[float] = None
+        self._initialized = False
+        for peer in peers:
+            self.glt.register(peer)
+
+    # ------------------------------------------------------------------
+    # Initialization: scan the store, parse documents, build the LDG
+    # (paper section 3.3: "computed upon initialization of the web server
+    # by scanning its disk and parsing the documents")
+    # ------------------------------------------------------------------
+
+    def initialize(self, now: float = 0.0) -> None:
+        if self._initialized:
+            return
+        names = self.store.names()
+        sources: Dict[str, bytes] = {}
+        for name in names:
+            if is_migrated_path(name):
+                continue  # cached co-op copies are not home documents
+            content_type = guess_content_type(name)
+            data = self.store.get(name)
+            self.graph.add_document(
+                name, size=len(data), content_type=content_type,
+                entry_point=name in self._entry_points)
+            if content_type.startswith("text/html"):
+                sources[name] = data
+        for name, data in sources.items():
+            self.stats.parses += 1
+            link_names = self._extract_link_names(name, data)
+            self.graph.set_links(name, link_names)
+        self._last_stats_at = now
+        self._last_ping_at = now
+        self._initialized = True
+
+    def _extract_link_names(self, base_name: str, data: bytes) -> List[str]:
+        document = parse_html(data.decode("latin-1"))
+        names: List[str] = []
+        for link in extract_links(document):
+            resolved = self._resolve_to_name(base_name, link.value)
+            if resolved is not None:
+                names.append(resolved)
+        return names
+
+    def _resolve_to_name(self, base_name: str, raw: str) -> Optional[str]:
+        """Map a raw hyperlink value to a same-site document name.
+
+        Handles relative links, absolute links to this server, and links
+        previously rewritten into migrated form pointing back at us.
+        Returns ``None`` for off-site references.
+        """
+        raw = strip_fragment(raw).strip()
+        if not raw:
+            return None
+        base = URL(self.location.host, self.location.port, base_name)
+        try:
+            resolved = join_url(base, raw)
+        except Exception:
+            return None
+        path = normalize_path(resolved.path)
+        if is_migrated_path(path):
+            try:
+                home, original = decode_migrated_path(path)
+            except NamingError:
+                return None
+            return original if home == self.location else None
+        if resolved.host == self.location.host and resolved.port == self.location.port:
+            return path
+        return None
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+
+    def handle_request(self, request: Request,
+                       now: float) -> Union[EngineReply, PullFromHome]:
+        """Process one client or peer request.
+
+        Returns a finished :class:`EngineReply`, or a :class:`PullFromHome`
+        directive when a migrated document must first be fetched lazily.
+        """
+        self.stats.requests += 1
+        self._absorb_piggyback(request.headers)
+        path = normalize_path(request.path)
+        if path.startswith(ADMIN_PREFIX):
+            return self._handle_admin(request, path, now)
+        if is_migrated_path(path):
+            try:
+                home, original = decode_migrated_path(path)
+            except NamingError:
+                return self._finish(request, error_response(
+                    StatusCode.BAD_REQUEST, "malformed ~migrate path"), now)
+            if home == self.location:
+                # Migrated-form URL for our own document, e.g. after a
+                # revocation raced a stale link: serve it as local.
+                return self._handle_local(request, original, now)
+            return self._handle_coop(request, path, home, original, now)
+        return self._handle_local(request, path, now)
+
+    # -- administrative endpoints (/~dcws/...) ---------------------------
+
+    def _handle_admin(self, request: Request, path: str,
+                      now: float) -> EngineReply:
+        from repro.server import admin
+
+        endpoint = path[len(ADMIN_PREFIX):]
+        renderer = admin.ENDPOINTS.get(endpoint)
+        if renderer is None:
+            return self._finish(request, error_response(
+                StatusCode.NOT_FOUND,
+                f"unknown admin endpoint; try {sorted(admin.ENDPOINTS)}"),
+                now, doc_name=path)
+        body = renderer(self).encode("latin-1", "replace")
+        response = Response(status=StatusCode.OK,
+                            body=b"" if request.method == "HEAD" else body)
+        response.headers.set("Content-Type", "text/plain")
+        response.headers.set("Content-Length", str(len(body)))
+        return self._finish(request, response, now, doc_name=path)
+
+    # -- local (home-server) documents ---------------------------------
+
+    def _handle_local(self, request: Request, path: str,
+                      now: float) -> EngineReply:
+        record = self.graph.find(path)
+        if record is None:
+            self.stats.responses_404 += 1
+            return self._finish(request, error_response(
+                StatusCode.NOT_FOUND, f"no such document: {path}"), now,
+                doc_name=path)
+        record.record_hit()
+        purpose = request.headers.get(PURPOSE_HEADER)
+        sender = extract_sender(request.headers)
+        privileged = (purpose in ("migration-pull", "validation")
+                      and self._sender_is_assigned(sender, record))
+        if self.entry_gate is not None and not record.entry_point \
+                and not sender and not self._gate_passes(request, now):
+            return self._gate_bounce(request, now, doc_name=record.name)
+        if record.location != self.location and not privileged:
+            # Migrated away: 301 to the current location (section 4.4).
+            # Pull and validation requests from the *assigned* co-op are
+            # the exception: the home keeps the permanent copy and must
+            # serve it.  A co-op that is no longer the document's host
+            # (the home re-migrated it) gets the same 301 — that is how
+            # it learns to stop serving its stale copy.
+            target = self._pick_location(record, salt=request.target)
+            location_url = migrated_url(target, self.location, path)
+            self.metrics.record_redirect(now)
+            self.stats.responses_301 += 1
+            reply = self._finish(request, redirect_response(str(location_url)),
+                                 now, doc_name=path)
+            return reply
+        return self._serve_home_document(request, record, now)
+
+    def _serve_home_document(self, request: Request, record: DocumentRecord,
+                             now: float) -> EngineReply:
+        # A validating co-op reports the hits its hosted copy absorbed;
+        # credit them so selection/re-migration/replication see real
+        # demand for documents that no longer generate local hits.
+        reported = request.headers.get_int(HOSTED_HITS_HEADER, 0) or 0
+        if reported > 0:
+            record.record_hit(reported)
+        reconstructed = False
+        if record.dirty and record.is_html:
+            self._regenerate(record)
+            reconstructed = True
+            self.metrics.record_reconstruction(now)
+            self.stats.reconstructions += 1
+        data = self.store.get(record.name)
+        # Conditional validation support (section 4.5): a co-op re-request
+        # carrying our current version gets a cheap 304.
+        peer_version = request.headers.get(VERSION_HEADER)
+        if peer_version is not None and peer_version == str(record.version):
+            response = Response(status=StatusCode.NOT_MODIFIED)
+            response.headers.set(VERSION_HEADER, str(record.version))
+            self.stats.responses_304 += 1
+            return self._finish(request, response, now, doc_name=record.name,
+                                reconstructed=reconstructed)
+        response = Response(status=StatusCode.OK,
+                            body=b"" if request.method == "HEAD" else data)
+        response.headers.set("Content-Type", record.content_type)
+        response.headers.set("Content-Length", str(len(data)))
+        response.headers.set(VERSION_HEADER, str(record.version))
+        if self.entry_gate is not None and record.entry_point:
+            response.headers.set("Set-Cookie", build_set_cookie(
+                COOKIE_NAME, self.entry_gate.issue(now),
+                max_age=int(self.config.entry_gate_ttl)))
+        self.stats.responses_200 += 1
+        return self._finish(request, response, now, doc_name=record.name,
+                            reconstructed=reconstructed)
+
+    def _gate_passes(self, request: Request, now: float) -> bool:
+        cookie_header = request.headers.get("Cookie", "") or ""
+        token = parse_cookie_header(cookie_header).get(COOKIE_NAME)
+        assert self.entry_gate is not None
+        return self.entry_gate.validate(token, now)
+
+    def _gate_bounce(self, request: Request, now: float, *,
+                     doc_name: str, home: Optional[Location] = None
+                     ) -> EngineReply:
+        """Redirect an ungated deep link to the site's front door
+        (section 3.1: "force them to come in the front door")."""
+        front_host = home if home is not None else self.location
+        entries = sorted(self._entry_points) or ["/"]
+        front_door = str(home_url(front_host, entries[0])) \
+            if home is None else str(home_url(front_host, "/"))
+        response = Response(status=StatusCode.FOUND)
+        response.headers.set("Location", front_door)
+        response.headers.set("Content-Type", "text/html")
+        response.body = (f'<html><body>Please enter via '
+                         f'<a href="{front_door}">{front_door}</a>'
+                         f'</body></html>').encode("latin-1")
+        self.metrics.record_redirect(now)
+        return self._finish(request, response, now, doc_name=doc_name)
+
+    def _sender_is_assigned(self, sender: str,
+                            record: DocumentRecord) -> bool:
+        """Is *sender* (a ``host:port`` string) a current host of *record*?"""
+        if not sender:
+            return False
+        return any(sender == str(location)
+                   for location in record.locations())
+
+    def _pick_location(self, record: DocumentRecord, salt: str) -> Location:
+        """Choose among a migrated document's locations.
+
+        With the prototype's single-location rule this is just the primary;
+        with replication enabled the choice is a deterministic hash so load
+        spreads without per-request state.
+        """
+        locations = sorted(record.locations(), key=str)
+        if len(locations) == 1:
+            return locations[0]
+        index = hash((record.name, salt)) % len(locations)
+        return locations[index]
+
+    # -- co-op (migrated) documents -------------------------------------
+
+    def _handle_coop(self, request: Request, key: str, home: Location,
+                     original: str, now: float) -> Union[EngineReply, PullFromHome]:
+        if self.entry_gate is not None \
+                and not extract_sender(request.headers) \
+                and not self._gate_passes(request, now):
+            return self._gate_bounce(request, now, doc_name=key,
+                                     home=home)
+        hosted = self.hosted.get(key)
+        if hosted is None:
+            hosted = HostedDocument(key=key, home=home, original=original,
+                                    content_type=guess_content_type(original))
+            self.hosted[key] = hosted
+        hosted.hits += 1
+        if not hosted.fetched:
+            # Lazy migration, sub-condition 1 (section 4.2): no local copy
+            # yet — pull from the home server, then serve and cache.
+            self.stats.pulls_started += 1
+            pull_request = Request(method="GET", target=original)
+            self._attach_piggyback(pull_request.headers)
+            pull_request.headers.set(PURPOSE_HEADER, "migration-pull")
+            return PullFromHome(key=key, home=home, original=original,
+                                request=pull_request, client_request=request)
+        data = self.store.get(key)
+        response = Response(status=StatusCode.OK,
+                            body=b"" if request.method == "HEAD" else data)
+        response.headers.set("Content-Type", hosted.content_type)
+        response.headers.set("Content-Length", str(len(data)))
+        self.stats.responses_200 += 1
+        return self._finish(request, response, now, doc_name=key)
+
+    def complete_pull(self, pull: PullFromHome, response: Optional[Response],
+                      now: float) -> EngineReply:
+        """Finish a lazy-migration pull: cache the bytes and serve them."""
+        hosted = self.hosted.get(pull.key)
+        if hosted is None:
+            # The entry was discarded while the pull was in flight (e.g.
+            # a validation learned the home dropped the document).
+            hosted = HostedDocument(key=pull.key, home=pull.home,
+                                    original=pull.original,
+                                    content_type=guess_content_type(pull.original))
+            self.hosted[pull.key] = hosted
+        if response is not None and response.status in (
+                StatusCode.MOVED_PERMANENTLY, StatusCode.FOUND):
+            # The home says we are not (or no longer) this document's
+            # host: forward the redirect to the client, keep nothing.
+            self._absorb_piggyback(response.headers)
+            self.hosted.pop(pull.key, None)
+            self.validation.forget(pull.key)
+            forwarded = redirect_response(
+                response.headers.get("Location", "") or "")
+            self.stats.responses_301 += 1
+            return self._finish(pull.client_request, forwarded, now,
+                                doc_name=pull.key)
+        if response is None or response.status != StatusCode.OK:
+            # Home unreachable or refused: shed the request; keep the entry
+            # so a later request retries the pull.
+            status = StatusCode.BAD_GATEWAY if response is None else response.status
+            self.log.record(now, "pull_failed", key=pull.key, status=int(status))
+            self.stats.responses_404 += 1
+            return self._finish(pull.client_request,
+                                error_response(status, "pull from home failed"),
+                                now, doc_name=pull.key)
+        self._absorb_piggyback(response.headers)
+        self.health.record_success(str(pull.home))
+        self.store.put(pull.key, response.body)
+        hosted.fetched = True
+        hosted.size = len(response.body)
+        hosted.version = response.headers.get(VERSION_HEADER, "") or ""
+        content_type = response.headers.get("Content-Type")
+        if content_type:
+            hosted.content_type = content_type
+        # Jitter each document's first validation deadline so documents
+        # pulled in a burst (e.g. right after a warm start) do not
+        # re-validate in synchronized storms that flood the home server.
+        jitter = (hash(pull.key) % 997) / 997.0
+        self.validation.register(
+            pull.key, now - jitter * self.config.validation_interval)
+        self.log.record(now, "pull", key=pull.key, home=str(pull.home),
+                        bytes=hosted.size)
+        self.stats.pulls_completed += 1
+        client_response = Response(status=StatusCode.OK, body=response.body)
+        client_response.headers.set("Content-Type", hosted.content_type)
+        client_response.headers.set("Content-Length", str(len(response.body)))
+        self.stats.responses_200 += 1
+        return self._finish(pull.client_request, client_response, now,
+                            doc_name=pull.key)
+
+    # ------------------------------------------------------------------
+    # Dirty-document regeneration (section 4.3)
+    # ------------------------------------------------------------------
+
+    def _regenerate(self, record: DocumentRecord) -> None:
+        """Parse, rewrite hyperlinks to current locations, write back."""
+        source = self.store.get(record.name).decode("latin-1")
+        document = parse_html(source)
+        rewrite_links(document, lambda raw: self._rewrite_value(record.name, raw))
+        regenerated = serialize_html(document).encode("latin-1")
+        self.store.put(record.name, regenerated)
+        record.size = len(regenerated)
+        record.dirty = False
+
+    def _rewrite_value(self, base_name: str, raw: str) -> Optional[str]:
+        """Rewrite one hyperlink to the target's *current* location.
+
+        Same-site links are rewritten to absolute URLs so the containing
+        document stays correct wherever it is served from; off-site links
+        are left alone.
+        """
+        name = self._resolve_to_name(base_name, raw)
+        if name is None:
+            return None
+        record = self.graph.find(name)
+        if record is None:
+            return None
+        if record.location == self.location and not record.replicas:
+            return str(home_url(self.location, name))
+        target = self._pick_location(record, salt=base_name)
+        if target == self.location:
+            return str(home_url(self.location, name))
+        return str(migrated_url(target, self.location, name))
+
+    # ------------------------------------------------------------------
+    # Periodic machinery
+    # ------------------------------------------------------------------
+
+    def tick(self, now: float) -> List[OutboundAction]:
+        """Run any periodic work due at *now*; return transfer directives.
+
+        Hosts call this regularly (the threaded server from its pinger and
+        statistics threads, the simulator from scheduled events).
+        """
+        actions: List[OutboundAction] = []
+        if self._last_stats_at is None or \
+                now - self._last_stats_at >= self.config.stats_interval:
+            self._recalculate_statistics(now)
+            self._last_stats_at = now
+        actions.extend(self._validations_due(now))
+        if self._last_ping_at is None or \
+                now - self._last_ping_at >= self.config.pinger_interval:
+            actions.extend(self._pings_due(now))
+            self._last_ping_at = now
+        return actions
+
+    def _recalculate_statistics(self, now: float) -> None:
+        """T_st boundary: refresh own GLT row, run migration decisions."""
+        own_metric = self.metrics.load_metric(
+            now, self.config.load_metric,
+            drop_pressure_weight=self.config.drop_pressure_weight)
+        self.glt.update_own(own_metric, now)
+        decisions = self.policy.consider(now, own_metric)
+        for decision in decisions:
+            self.stats.decisions.append(decision)
+            self.log.record(now, decision.kind, name=decision.name,
+                            target=str(decision.target),
+                            dirtied=len(decision.dirtied))
+            if decision.kind in ("migrate", "remigrate"):
+                self.stats.migrations += 1
+            elif decision.kind == "revoke":
+                self.stats.revocations += 1
+            elif decision.kind == "replicate":
+                self.stats.replications += 1
+        self.graph.reset_windows()
+
+    def _validations_due(self, now: float) -> List[OutboundAction]:
+        """Co-op consistency: re-request hosted documents every T_val."""
+        actions: List[OutboundAction] = []
+        for key in self.validation.due(now):
+            hosted = self.hosted.get(str(key))
+            if hosted is None or not hosted.fetched:
+                self.validation.forget(key)
+                continue
+            request = Request(method="GET", target=hosted.original)
+            self._attach_piggyback(request.headers)
+            request.headers.set(PURPOSE_HEADER, "validation")
+            if hosted.version:
+                request.headers.set(VERSION_HEADER, hosted.version)
+            fresh_hits = hosted.hits - hosted.hits_reported
+            if fresh_hits > 0:
+                request.headers.set(HOSTED_HITS_HEADER, str(fresh_hits))
+                hosted.hits_reported = hosted.hits
+            actions.append(OutboundAction(kind="validate", peer=hosted.home,
+                                          request=request, key=hosted.key))
+            self.validation.mark(key, now)
+            self.log.record(now, "validate", key=hosted.key)
+            self.stats.validations += 1
+        return actions
+
+    def _pings_due(self, now: float) -> List[OutboundAction]:
+        """Pinger: force a transfer to peers with stale load information."""
+        max_age = self.config.staleness_intervals * self.config.pinger_interval
+        actions: List[OutboundAction] = []
+        for peer in self.glt.stale_peers(now, max_age):
+            request = Request(method="HEAD", target="/")
+            self._attach_piggyback(request.headers)
+            request.headers.set(PURPOSE_HEADER, "ping")
+            actions.append(OutboundAction(kind="ping", peer=peer,
+                                          request=request))
+            self.log.record(now, "ping", peer=str(peer))
+            self.stats.pings += 1
+        return actions
+
+    def complete_action(self, action: OutboundAction,
+                        response: Optional[Response], now: float) -> None:
+        """Report the outcome of a :class:`OutboundAction`.
+
+        ``response=None`` means the peer did not answer; enough consecutive
+        ping failures declare it dead, and if we are the home of documents
+        it hosted, they are revoked (section 4.5, case 3).
+        """
+        peer_key = str(action.peer)
+        if response is None:
+            failures = self.health.record_failure(peer_key)
+            if failures >= self.config.ping_failure_limit:
+                self._declare_dead(action.peer, now)
+            return
+        self.health.record_success(peer_key)
+        self._absorb_piggyback(response.headers)
+        if action.kind == "validate" and action.key:
+            self._finish_validation(action, response, now)
+
+    def _finish_validation(self, action: OutboundAction, response: Response,
+                           now: float) -> None:
+        hosted = self.hosted.get(action.key)
+        if hosted is None:
+            return
+        if response.status == StatusCode.NOT_MODIFIED:
+            return  # copy is current
+        if response.status == StatusCode.OK:
+            self.store.put(hosted.key, response.body)
+            hosted.size = len(response.body)
+            hosted.version = response.headers.get(VERSION_HEADER, "") or hosted.version
+            self.log.record(now, "validate_refreshed", key=hosted.key,
+                            bytes=hosted.size)
+            return
+        if response.status in (StatusCode.NOT_FOUND,
+                               StatusCode.MOVED_PERMANENTLY,
+                               StatusCode.FOUND):
+            # 404: the home deleted the document.  301/302: the home
+            # re-migrated or revoked it — we are no longer its host.
+            # Either way, drop our copy; future requests for the old URL
+            # pull again and are answered with the home's redirect.
+            self.store.delete(hosted.key)
+            self.validation.forget(hosted.key)
+            self.hosted.pop(hosted.key, None)
+        # Transient statuses (503 overload, 5xx) keep the copy; the next
+        # validation interval retries.
+
+    def _declare_dead(self, peer: Location, now: float) -> None:
+        self.log.record(now, "peer_dead", peer=str(peer))
+        decisions = self.policy.revoke_all_from(peer)
+        for decision in decisions:
+            self.stats.decisions.append(decision)
+            self.stats.revocations += 1
+        self.glt.remove(peer)
+        self.health.forget(str(peer))
+
+    # ------------------------------------------------------------------
+    # Warm-state helpers (operator tooling and benchmark pre-warming)
+    # ------------------------------------------------------------------
+
+    def regenerate_dirty(self) -> int:
+        """Regenerate every dirty HTML document now (instead of lazily on
+        the next request).  Returns how many documents were rewritten."""
+        count = 0
+        for record in self.graph.documents():
+            if record.dirty and record.is_html:
+                self._regenerate(record)
+                count += 1
+        return count
+
+    def seed_hosted(self, home: Location, original: str, data: bytes,
+                    version: int, now: float) -> None:
+        """Install a migrated document's bytes as if the lazy pull had
+        already happened (a warmed co-op).  Validation is scheduled with
+        the usual per-document jitter."""
+        key = encode_migrated_path(home, original)
+        hosted = HostedDocument(key=key, home=home, original=original,
+                                fetched=True, size=len(data),
+                                version=str(version),
+                                content_type=guess_content_type(original))
+        self.hosted[key] = hosted
+        self.store.put(key, data)
+        jitter = (hash(key) % 997) / 997.0
+        self.validation.register(
+            key, now - jitter * self.config.validation_interval)
+
+    # ------------------------------------------------------------------
+    # Content administration (section 4.5, case 1)
+    # ------------------------------------------------------------------
+
+    def update_document(self, name: str, data: bytes) -> None:
+        """An author changed a document: store it, bump its version, and
+        refresh its outgoing edges.  Co-op copies catch up at their next
+        validation."""
+        record = self.graph.get(name)
+        self.store.put(name, data)
+        record.size = len(data)
+        record.version += 1
+        if record.is_html:
+            self.stats.parses += 1
+            self.graph.set_links(name, self._extract_link_names(name, data))
+            record.dirty = True
+        self.log.record(0.0, "content_update", name=name,
+                        version=record.version)
+
+    # ------------------------------------------------------------------
+    # Piggybacking helpers
+    # ------------------------------------------------------------------
+
+    def _attach_piggyback(self, headers: Headers) -> None:
+        attach_load_reports(headers, str(self.location), self.glt.snapshot())
+
+    def _absorb_piggyback(self, headers: Headers) -> None:
+        sender = extract_sender(headers)
+        if not sender:
+            return
+        try:
+            self.glt.merge(extract_load_reports(headers))
+        except Exception:
+            return  # malformed gossip from a peer never breaks serving
+        self.health.record_success(sender)
+
+    def _finish(self, request: Request, response: Response, now: float, *,
+                doc_name: str = "", reconstructed: bool = False) -> EngineReply:
+        """Common bookkeeping for every response leaving this server."""
+        if extract_sender(request.headers):
+            # Peer transfer: piggyback our current table on the response.
+            self._attach_piggyback(response.headers)
+        body_bytes = len(response.body)
+        self.metrics.record_connection(now, body_bytes + RESPONSE_HEAD_OVERHEAD)
+        self.stats.bytes_sent += body_bytes
+        return EngineReply(response=response, doc_name=doc_name,
+                           reconstructed=reconstructed)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def current_load(self, now: float) -> float:
+        return self.metrics.load_metric(
+            now, self.config.load_metric,
+            drop_pressure_weight=self.config.drop_pressure_weight)
+
+    def describe(self) -> Dict[str, object]:
+        """A summary dict for logging and debugging."""
+        return {
+            "location": str(self.location),
+            "documents": len(self.graph),
+            "migrated_away": len(self.graph.migrated_documents()),
+            "hosted": sum(1 for h in self.hosted.values() if h.fetched),
+            "glt_rows": len(self.glt),
+            "requests": self.stats.requests,
+        }

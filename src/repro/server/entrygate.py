@@ -1,0 +1,63 @@
+"""The entry gate: force clients "to come in the front door" (§3.1).
+
+The paper notes that bookmarks and search engines can deep-link internal
+pages, and that sites can defeat this "either through cookies, or through
+adding tokens or sequence numbers to the URLs".  This module implements
+the cookie variant:
+
+- a request for a *well-known entry point* receives a ``Set-Cookie``
+  session token;
+- a request for any other document must present a valid token, or it is
+  redirected (302) to the site's front door;
+- tokens are **stateless**: ``<expiry>.<digest>`` where the digest is a
+  keyed hash of the expiry, so every cooperating server sharing the
+  cluster secret validates tokens without coordination — co-ops gate
+  migrated documents exactly like the home gates local ones.
+
+Enable by setting ``ServerConfig.entry_gate_secret`` to a non-empty
+shared secret.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Optional
+
+COOKIE_NAME = "dcws_session"
+
+
+class EntryGate:
+    """Stateless session-token issuer/validator."""
+
+    def __init__(self, secret: str, ttl: float = 900.0) -> None:
+        if not secret:
+            raise ValueError("entry gate needs a non-empty secret")
+        if ttl <= 0:
+            raise ValueError("entry gate ttl must be positive")
+        self._key = secret.encode("utf-8")
+        self.ttl = ttl
+
+    def _digest(self, expiry: int) -> str:
+        return hmac.new(self._key, str(expiry).encode("ascii"),
+                        hashlib.sha256).hexdigest()[:20]
+
+    def issue(self, now: float) -> str:
+        """A token valid for the next ``ttl`` seconds."""
+        expiry = int(now + self.ttl)
+        return f"{expiry}.{self._digest(expiry)}"
+
+    def validate(self, token: Optional[str], now: float) -> bool:
+        """True when *token* is well-formed, authentic, and unexpired."""
+        if not token:
+            return False
+        expiry_text, sep, digest = token.partition(".")
+        if not sep:
+            return False
+        try:
+            expiry = int(expiry_text)
+        except ValueError:
+            return False
+        if now > expiry:
+            return False
+        return hmac.compare_digest(digest, self._digest(expiry))

@@ -1,0 +1,171 @@
+"""Document stores: where a server keeps document bytes.
+
+The home server's documents and the co-op server's lazily-pulled copies
+both live in a :class:`DocumentStore`.  Two implementations:
+
+- :class:`MemoryStore` — a dict; used by the simulator and unit tests;
+- :class:`DiskStore` — files under a root directory; used by the real
+  threaded server, matching the prototype (documents "directly related to
+  the name of the file on the server's local disk", section 3.3).
+
+Document names are absolute URL paths (``/dir/foo.html``).
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import DocumentNotFound
+from repro.http.urls import split_path
+
+_CONTENT_TYPES: Dict[str, str] = {
+    ".html": "text/html",
+    ".htm": "text/html",
+    ".txt": "text/plain",
+    ".gif": "image/gif",
+    ".jpg": "image/jpeg",
+    ".jpeg": "image/jpeg",
+    ".png": "image/png",
+    ".css": "text/css",
+    ".js": "application/javascript",
+    ".xml": "text/xml",
+}
+
+DEFAULT_CONTENT_TYPE = "application/octet-stream"
+
+
+def guess_content_type(name: str) -> str:
+    """Content type by file extension, the way the 1998 prototype did."""
+    __, ext = os.path.splitext(name.lower())
+    return _CONTENT_TYPES.get(ext, DEFAULT_CONTENT_TYPE)
+
+
+class DocumentStore(ABC):
+    """Byte storage addressed by absolute document path."""
+
+    @abstractmethod
+    def get(self, name: str) -> bytes:
+        """Return the bytes of *name*; raise DocumentNotFound if absent."""
+
+    @abstractmethod
+    def put(self, name: str, data: bytes) -> None:
+        """Create or overwrite *name*."""
+
+    @abstractmethod
+    def delete(self, name: str) -> None:
+        """Remove *name* if present (idempotent)."""
+
+    @abstractmethod
+    def names(self) -> List[str]:
+        """Every stored document path, sorted."""
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name in set(self.names())
+
+    def size(self, name: str) -> int:
+        return len(self.get(name))
+
+    def items(self) -> Iterator[Tuple[str, bytes]]:
+        for name in self.names():
+            yield name, self.get(name)
+
+
+class MemoryStore(DocumentStore):
+    """In-memory store; the default for simulation and tests."""
+
+    def __init__(self, initial: Dict[str, bytes] = None) -> None:
+        self._data: Dict[str, bytes] = dict(initial or {})
+
+    def get(self, name: str) -> bytes:
+        try:
+            return self._data[name]
+        except KeyError:
+            raise DocumentNotFound(name) from None
+
+    def put(self, name: str, data: bytes) -> None:
+        if not name.startswith("/"):
+            raise DocumentNotFound(f"store names are absolute paths: {name!r}")
+        self._data[name] = bytes(data)
+
+    def delete(self, name: str) -> None:
+        self._data.pop(name, None)
+
+    def names(self) -> List[str]:
+        return sorted(self._data)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._data
+
+    def size(self, name: str) -> int:
+        try:
+            return len(self._data[name])
+        except KeyError:
+            raise DocumentNotFound(name) from None
+
+    def total_bytes(self) -> int:
+        return sum(len(d) for d in self._data.values())
+
+
+class DiskStore(DocumentStore):
+    """Files under *root*; path segments map to directories.
+
+    Path traversal is rejected: every stored name must resolve inside
+    *root*.  The ``~migrate`` marker segment is encoded as ``_migrate_`` on
+    disk so co-op copies can be cached without creating odd file names.
+    """
+
+    _MARKER_DIR = "_migrate_"
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def _fs_path(self, name: str) -> str:
+        segments = split_path(name)
+        if any(segment == ".." for segment in segments):
+            raise DocumentNotFound(name)
+        segments = [self._MARKER_DIR if s == "~migrate" else s for s in segments]
+        path = os.path.join(self.root, *segments)
+        if not os.path.abspath(path).startswith(self.root + os.sep):
+            raise DocumentNotFound(name)
+        return path
+
+    def get(self, name: str) -> bytes:
+        path = self._fs_path(name)
+        try:
+            with open(path, "rb") as handle:
+                return handle.read()
+        except OSError:
+            raise DocumentNotFound(name) from None
+
+    def put(self, name: str, data: bytes) -> None:
+        path = self._fs_path(name)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as handle:
+            handle.write(data)
+
+    def delete(self, name: str) -> None:
+        try:
+            os.remove(self._fs_path(name))
+        except OSError:
+            pass
+
+    def names(self) -> List[str]:
+        found: List[str] = []
+        for dirpath, __, filenames in os.walk(self.root):
+            for filename in filenames:
+                full = os.path.join(dirpath, filename)
+                relative = os.path.relpath(full, self.root)
+                segments = relative.split(os.sep)
+                segments = ["~migrate" if s == self._MARKER_DIR else s
+                            for s in segments]
+                found.append("/" + "/".join(segments))
+        return sorted(found)
+
+    def size(self, name: str) -> int:
+        try:
+            return os.path.getsize(self._fs_path(name))
+        except OSError:
+            raise DocumentNotFound(name) from None

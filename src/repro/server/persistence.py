@@ -1,0 +1,169 @@
+"""Engine state persistence: survive a server restart.
+
+The prototype recomputes the Local Document Graph from disk at startup
+(paper section 3.3), but a restart would forget *migration state* — which
+documents live on which co-ops — and every hyperlink already rewritten on
+disk would point at co-ops the restarted server no longer knows about.
+This module saves and restores the mutable half of an engine's state:
+
+- per-document location, replicas, version, hits and dirty bit;
+- the migration policy's bookkeeping (who hosts what, since when);
+- hosted foreign documents (the co-op role), with validation deadlines;
+- the last known global load table.
+
+The snapshot format is a single JSON document, written atomically.
+Document *content* is not snapshotted — it already lives in the store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict
+
+from repro.core.document import Location
+from repro.core.migration import _MigrationRecord
+from repro.errors import ReproError
+from repro.http.piggyback import LoadReport
+from repro.server.engine import DCWSEngine, HostedDocument
+from repro.server.filestore import guess_content_type
+
+SNAPSHOT_VERSION = 1
+
+
+class SnapshotError(ReproError):
+    """A snapshot could not be written, read, or applied."""
+
+
+def snapshot_engine(engine: DCWSEngine, now: float) -> Dict[str, Any]:
+    """Capture the engine's mutable state as a JSON-serializable dict."""
+    documents = {}
+    for record in engine.graph.documents():
+        documents[record.name] = {
+            "location": str(record.location),
+            "replicas": sorted(str(r) for r in record.replicas),
+            "version": record.version,
+            "hits": record.hits,
+            "dirty": record.dirty,
+        }
+    hosted = {}
+    for key, entry in engine.hosted.items():
+        if not entry.fetched:
+            continue
+        hosted[key] = {
+            "home": str(entry.home),
+            "original": entry.original,
+            "size": entry.size,
+            "hits": entry.hits,
+            "version": entry.version,
+            "content_type": entry.content_type,
+            "last_validated": engine.validation.last_serviced(key),
+        }
+    migrations = {}
+    for name in engine.policy.migrated_names():
+        target = engine.policy.migration_of(name)
+        if target is not None:
+            migrations[name] = str(target)
+    glt = [{"server": row.server, "metric": row.metric,
+            "ts": row.timestamp}
+           for row in engine.glt.snapshot()
+           if row.timestamp != float("-inf")]
+    return {
+        "snapshot_version": SNAPSHOT_VERSION,
+        "location": str(engine.location),
+        "taken_at": now,
+        "documents": documents,
+        "hosted": hosted,
+        "migrations": migrations,
+        "glt": glt,
+    }
+
+
+def save_snapshot(engine: DCWSEngine, path: str, now: float) -> None:
+    """Write the snapshot atomically (write-to-temp, rename)."""
+    data = json.dumps(snapshot_engine(engine, now), indent=1, sort_keys=True)
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(directory, exist_ok=True)
+    descriptor, temp_path = tempfile.mkstemp(dir=directory,
+                                             suffix=".snapshot.tmp")
+    try:
+        with os.fdopen(descriptor, "w") as handle:
+            handle.write(data)
+        os.replace(temp_path, path)
+    except OSError as exc:
+        try:
+            os.remove(temp_path)
+        except OSError:
+            pass
+        raise SnapshotError(f"cannot write snapshot {path}: {exc}") from exc
+
+
+def load_snapshot(path: str) -> Dict[str, Any]:
+    """Read and structurally validate a snapshot file."""
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    if not isinstance(data, dict) or \
+            data.get("snapshot_version") != SNAPSHOT_VERSION:
+        raise SnapshotError(f"unsupported snapshot format in {path}")
+    return data
+
+
+def restore_engine(engine: DCWSEngine, snapshot: Dict[str, Any],
+                   now: float) -> int:
+    """Apply *snapshot* to a freshly initialized engine.
+
+    The engine must already be initialized (its LDG built from the
+    store).  Documents present in the snapshot but no longer on disk are
+    skipped; new documents keep their fresh state.  Returns the number of
+    restored document records.
+    """
+    if snapshot.get("location") != str(engine.location):
+        raise SnapshotError(
+            f"snapshot belongs to {snapshot.get('location')}, "
+            f"not {engine.location}")
+    restored = 0
+    for name, saved in snapshot.get("documents", {}).items():
+        record = engine.graph.find(name)
+        if record is None:
+            continue
+        record.location = Location.parse(saved["location"])
+        record.replicas = {Location.parse(r) for r in saved["replicas"]}
+        record.version = int(saved["version"])
+        record.hits = int(saved["hits"])
+        record.dirty = bool(saved["dirty"])
+        restored += 1
+    for name, target in snapshot.get("migrations", {}).items():
+        if name in engine.graph:
+            engine.policy._migrations[name] = _MigrationRecord(
+                coop=Location.parse(target), migrated_at=now)
+    for key, saved in snapshot.get("hosted", {}).items():
+        if key not in engine.store:
+            continue  # content lost; it will be pulled again on demand
+        entry = HostedDocument(
+            key=key,
+            home=Location.parse(saved["home"]),
+            original=saved["original"],
+            fetched=True,
+            size=int(saved["size"]),
+            hits=int(saved["hits"]),
+            version=str(saved["version"]),
+            content_type=saved.get("content_type")
+            or guess_content_type(saved["original"]))
+        engine.hosted[key] = entry
+        engine.validation.register(key, now)
+    engine.glt.merge(LoadReport(server=row["server"],
+                                metric=float(row["metric"]),
+                                timestamp=float(row["ts"]))
+                     for row in snapshot.get("glt", []))
+    return restored
+
+
+def restore_from_file(engine: DCWSEngine, path: str, now: float) -> int:
+    """Convenience wrapper: load + restore; 0 restored if file is absent."""
+    if not os.path.exists(path):
+        return 0
+    return restore_engine(engine, load_snapshot(path), now)

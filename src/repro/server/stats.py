@@ -1,0 +1,113 @@
+"""Cluster-wide statistics sampling.
+
+The paper samples CPS and BPS at 10-second intervals (Figure 8) and
+averages them over fixed client populations (Figure 6).  This module holds
+the shared time-series machinery both the simulator and the real harness
+use: take a :class:`ClusterSample` of every server's metrics at time *now*,
+accumulate them into a :class:`TimeSeries`, and derive aggregate and peak
+statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+from repro.server.engine import DCWSEngine
+
+
+@dataclass(frozen=True)
+class ClusterSample:
+    """Aggregate cluster performance at one instant."""
+
+    time: float
+    cps: float                  # aggregate connections per second
+    bps: float                  # aggregate bytes per second
+    drops_per_second: float
+    per_server_cps: Dict[str, float] = field(default_factory=dict)
+    reconstructions_per_second: float = 0.0
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean per-server CPS; 1.0 is perfectly balanced."""
+        values = list(self.per_server_cps.values())
+        if not values:
+            return 1.0
+        mean = sum(values) / len(values)
+        if mean <= 0.0:
+            return 1.0
+        return max(values) / mean
+
+
+def sample_cluster(now: float, engines: Iterable[DCWSEngine]) -> ClusterSample:
+    """Read every engine's sliding-window rates at *now*."""
+    total_cps = 0.0
+    total_bps = 0.0
+    total_drops = 0.0
+    total_reconstructions = 0.0
+    per_server: Dict[str, float] = {}
+    for engine in engines:
+        cps = engine.metrics.cps(now)
+        total_cps += cps
+        total_bps += engine.metrics.bps(now)
+        total_drops += engine.metrics.drops.rate(now)
+        total_reconstructions += engine.metrics.reconstructions.rate(now)
+        per_server[str(engine.location)] = cps
+    return ClusterSample(time=now, cps=total_cps, bps=total_bps,
+                         drops_per_second=total_drops,
+                         per_server_cps=per_server,
+                         reconstructions_per_second=total_reconstructions)
+
+
+@dataclass
+class TimeSeries:
+    """An ordered sequence of cluster samples plus summary statistics."""
+
+    samples: List[ClusterSample] = field(default_factory=list)
+
+    def add(self, sample: ClusterSample) -> None:
+        if self.samples and sample.time < self.samples[-1].time:
+            raise ValueError("samples must be appended in time order")
+        self.samples.append(sample)
+
+    def times(self) -> List[float]:
+        return [s.time for s in self.samples]
+
+    def cps_series(self) -> List[float]:
+        return [s.cps for s in self.samples]
+
+    def bps_series(self) -> List[float]:
+        return [s.bps for s in self.samples]
+
+    def peak_cps(self) -> float:
+        return max((s.cps for s in self.samples), default=0.0)
+
+    def peak_bps(self) -> float:
+        return max((s.bps for s in self.samples), default=0.0)
+
+    def steady_state(self, fraction: float = 0.5) -> "TimeSeries":
+        """The trailing *fraction* of samples (warm-up discarded)."""
+        if not self.samples:
+            return TimeSeries()
+        start = int(len(self.samples) * (1.0 - fraction))
+        return TimeSeries(samples=list(self.samples[start:]))
+
+    def mean_cps(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(s.cps for s in self.samples) / len(self.samples)
+
+    def mean_bps(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(s.bps for s in self.samples) / len(self.samples)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+def growth_profile(series: Sequence[float]) -> List[float]:
+    """First differences of a series — used to verify Figure 8's
+    accelerating (exponential-like) warm-up, where later increments exceed
+    earlier ones."""
+    return [b - a for a, b in zip(series, series[1:])]

@@ -1,0 +1,282 @@
+"""The real multithreaded DCWS server (paper section 5.1).
+
+Mirrors the prototype's structure: a multithreaded HTTP *front-end* that
+accepts and parses requests, a *worker* module with a pool of threads that
+process and respond, and a *statistics/pinger* thread maintaining the
+global load table and periodic machinery.  The multithreaded paradigm (vs
+pool-of-processes) is what lets all workers share the Local Document Graph
+and Global Load Table through one in-memory :class:`DCWSEngine`.
+
+Request-drop behaviour follows section 5.2: when the bounded connection
+queue is full, the connection is "dropped gracefully with a 503 error
+response" by the front-end itself.
+
+The engine is guarded by one lock; blocking network I/O (reading requests,
+sending responses, server-to-server transfers) happens outside the lock, so
+the lock only covers in-memory graph/table operations.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from typing import List, Optional
+
+from repro.client.realclient import http_fetch
+from repro.errors import HTTPError, ReproError
+from repro.http.messages import Request, Response, error_response, parse_request
+from repro.http.status import StatusCode
+from repro.server.engine import DCWSEngine, EngineReply, PullFromHome
+
+_RECV_CHUNK = 65536
+_MAX_REQUEST = 1024 * 1024
+
+
+class ThreadedDCWSServer:
+    """Host a :class:`DCWSEngine` on real sockets with real threads."""
+
+    def __init__(self, engine: DCWSEngine, *,
+                 bind_host: str = "",
+                 request_timeout: float = 10.0,
+                 tick_period: float = 0.25,
+                 snapshot_path: Optional[str] = None,
+                 snapshot_interval: float = 30.0) -> None:
+        self.engine = engine
+        self.bind_host = bind_host or engine.location.host
+        self.port = engine.location.port
+        self.request_timeout = request_timeout
+        self.tick_period = tick_period
+        # Optional restart recovery: restore on start, snapshot
+        # periodically and on stop (repro.server.persistence).
+        self.snapshot_path = snapshot_path
+        self.snapshot_interval = snapshot_interval
+        self._last_snapshot = 0.0
+        self._lock = threading.Lock()
+        self._listener: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        self._connections: "queue.Queue[socket.socket]" = queue.Queue(
+            maxsize=engine.config.socket_queue_length)
+        self._stop = threading.Event()
+        self._started = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind, listen, and launch front-end, worker and periodic threads."""
+        if self._listener is not None:
+            raise ReproError("server already started")
+        with self._lock:
+            now = time.monotonic()
+            self.engine.initialize(now)
+            if self.snapshot_path:
+                from repro.server.persistence import restore_from_file
+
+                restore_from_file(self.engine, self.snapshot_path, now)
+                self._last_snapshot = now
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.bind_host, self.port))
+        listener.listen(self.engine.config.socket_queue_length)
+        listener.settimeout(0.2)
+        self._listener = listener
+        self._threads = []
+        front_end = threading.Thread(target=self._front_end_loop,
+                                     name=f"dcws-frontend-{self.port}",
+                                     daemon=True)
+        self._threads.append(front_end)
+        for index in range(self.engine.config.worker_threads):
+            worker = threading.Thread(target=self._worker_loop,
+                                      name=f"dcws-worker-{self.port}-{index}",
+                                      daemon=True)
+            self._threads.append(worker)
+        periodic = threading.Thread(target=self._periodic_loop,
+                                    name=f"dcws-periodic-{self.port}",
+                                    daemon=True)
+        self._threads.append(periodic)
+        for thread in self._threads:
+            thread.start()
+        self._started.set()
+
+    def stop(self) -> None:
+        """Stop accepting, drain threads, close the listener."""
+        if self.snapshot_path and self._listener is not None:
+            from repro.server.persistence import save_snapshot
+
+            with self._lock:
+                save_snapshot(self.engine, self.snapshot_path,
+                              time.monotonic())
+        self._stop.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._listener = None
+        self._threads = []
+
+    def __enter__(self) -> "ThreadedDCWSServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Front-end thread: accept + enqueue, 503 on overflow
+    # ------------------------------------------------------------------
+
+    def _front_end_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stop.is_set():
+            try:
+                connection, __ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            connection.settimeout(self.request_timeout)
+            try:
+                self._connections.put_nowait(connection)
+            except queue.Full:
+                self._drop_connection(connection)
+
+    def _drop_connection(self, connection: socket.socket) -> None:
+        """Graceful 503 drop (section 5.2) when the queue overflows."""
+        with self._lock:
+            self.engine.metrics.record_drop(time.monotonic())
+        try:
+            connection.sendall(error_response(
+                StatusCode.SERVICE_UNAVAILABLE, "server overloaded").serialize())
+        except OSError:
+            pass
+        finally:
+            _close_quietly(connection)
+
+    # ------------------------------------------------------------------
+    # Worker threads
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                connection = self._connections.get(timeout=0.2)
+            except queue.Empty:
+                continue
+            try:
+                self._serve_connection(connection)
+            except Exception:
+                # A broken connection must never kill a worker.
+                pass
+            finally:
+                _close_quietly(connection)
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        try:
+            request = _read_request(connection)
+        except (HTTPError, OSError):
+            _send_quietly(connection, error_response(StatusCode.BAD_REQUEST))
+            return
+        response = self._dispatch(request)
+        _send_quietly(connection, response)
+
+    def _dispatch(self, request: Request) -> Response:
+        now = time.monotonic()
+        with self._lock:
+            result = self.engine.handle_request(request, now)
+        if isinstance(result, EngineReply):
+            return result.response
+        return self._execute_pull(result)
+
+    def _execute_pull(self, pull: PullFromHome) -> Response:
+        """Lazy migration: blocking fetch from home, outside the lock."""
+        try:
+            upstream = http_fetch(pull.home, pull.request,
+                                  timeout=self.request_timeout)
+        except (OSError, HTTPError):
+            upstream = None
+        with self._lock:
+            reply = self.engine.complete_pull(pull, upstream, time.monotonic())
+        return reply.response
+
+    # ------------------------------------------------------------------
+    # Periodic thread: statistics, migration decisions, validation, pinger
+    # ------------------------------------------------------------------
+
+    def _periodic_loop(self) -> None:
+        while not self._stop.is_set():
+            now = time.monotonic()
+            with self._lock:
+                actions = self.engine.tick(now)
+            for action in actions:
+                if self._stop.is_set():
+                    return
+                try:
+                    response = http_fetch(action.peer, action.request,
+                                          timeout=self.request_timeout)
+                except (OSError, HTTPError):
+                    response = None
+                with self._lock:
+                    self.engine.complete_action(action, response,
+                                                time.monotonic())
+            if self.snapshot_path and \
+                    now - self._last_snapshot >= self.snapshot_interval:
+                from repro.server.persistence import save_snapshot
+
+                with self._lock:
+                    save_snapshot(self.engine, self.snapshot_path, now)
+                    self._last_snapshot = now
+            self._stop.wait(self.tick_period)
+
+    # ------------------------------------------------------------------
+
+    def wait_ready(self, timeout: float = 5.0) -> bool:
+        """Block until the server threads are running."""
+        return self._started.wait(timeout)
+
+
+def _read_request(connection: socket.socket) -> Request:
+    """Read one complete request off *connection*."""
+    buffer = bytearray()
+    head_end = -1
+    while head_end < 0:
+        chunk = connection.recv(_RECV_CHUNK)
+        if not chunk:
+            raise HTTPError("connection closed before request completed")
+        buffer.extend(chunk)
+        if len(buffer) > _MAX_REQUEST:
+            raise HTTPError("request exceeds size limit")
+        head_end = buffer.find(b"\r\n\r\n")
+    request = parse_request(bytes(buffer))
+    expected = request.headers.get_int("content-length", 0) or 0
+    body_have = len(buffer) - head_end - 4
+    while body_have < expected:
+        chunk = connection.recv(_RECV_CHUNK)
+        if not chunk:
+            break
+        buffer.extend(chunk)
+        body_have += len(chunk)
+    return parse_request(bytes(buffer))
+
+
+def _send_quietly(connection: socket.socket, response: Response) -> None:
+    try:
+        connection.sendall(response.serialize())
+    except OSError:
+        pass
+
+
+def _close_quietly(connection: socket.socket) -> None:
+    try:
+        connection.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        connection.close()
+    except OSError:
+        pass

@@ -1,0 +1,196 @@
+"""End-to-end tests over real sockets: the threaded prototype (§5.1).
+
+Two ThreadedDCWSServer instances run on loopback ports; a real HTTP client
+exercises serving, migration, redirection, lazy pulls, piggybacking and
+the periodic machinery — the same flows the simulator models, on actual
+TCP connections.
+"""
+
+import socket
+import time
+
+import pytest
+
+from repro.client.realclient import fetch_url, head_ok, http_fetch
+from repro.core.config import ServerConfig
+from repro.core.document import Location
+from repro.http.messages import Request
+from repro.http.urls import URL
+from repro.server.engine import DCWSEngine
+from repro.server.filestore import MemoryStore
+from repro.server.threaded import ThreadedDCWSServer
+
+SITE = {
+    "/index.html": b'<html><a href="d.html">D</a><img src="i.gif"></html>',
+    "/d.html": b'<html><a href="e.html">E</a></html>',
+    "/e.html": b"<html>leaf</html>",
+    "/i.gif": b"GIF89a" + b"x" * 500,
+}
+
+
+def free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+@pytest.fixture()
+def pair():
+    """A running (home, coop) ThreadedDCWSServer pair on loopback."""
+    home_loc = Location("127.0.0.1", free_port())
+    coop_loc = Location("127.0.0.1", free_port())
+    config = ServerConfig(stats_interval=0.5, pinger_interval=0.5,
+                          validation_interval=2.0,
+                          migration_hit_threshold=1.0)
+    home_engine = DCWSEngine(home_loc, config, MemoryStore(SITE),
+                             entry_points=["/index.html"], peers=[coop_loc])
+    coop_engine = DCWSEngine(coop_loc, config, MemoryStore(),
+                             peers=[home_loc])
+    home = ThreadedDCWSServer(home_engine, tick_period=0.1)
+    coop = ThreadedDCWSServer(coop_engine, tick_period=0.1)
+    home.start()
+    coop.start()
+    try:
+        yield home, coop
+    finally:
+        home.stop()
+        coop.stop()
+
+
+def url_of(server: ThreadedDCWSServer, path: str) -> URL:
+    return URL("127.0.0.1", server.port, path)
+
+
+class TestBasicServing:
+    def test_serves_document(self, pair):
+        home, __ = pair
+        outcome = fetch_url(url_of(home, "/d.html"))
+        assert outcome.status == 200
+        assert outcome.links == ["e.html"]
+
+    def test_404(self, pair):
+        home, __ = pair
+        assert fetch_url(url_of(home, "/ghost.html")).status == 404
+
+    def test_head_probe(self, pair):
+        home, __ = pair
+        assert head_ok(Location("127.0.0.1", home.port))
+
+    def test_bad_request_handled(self, pair):
+        home, __ = pair
+        with socket.create_connection(("127.0.0.1", home.port),
+                                      timeout=5) as raw:
+            raw.sendall(b"NOT-HTTP\r\n\r\n")
+            data = raw.recv(65536)
+        assert b"400" in data.split(b"\r\n")[0]
+
+    def test_concurrent_fetches(self, pair):
+        import threading
+
+        home, __ = pair
+        results = []
+
+        def fetch_many():
+            for __ in range(10):
+                results.append(fetch_url(url_of(home, "/d.html")).status)
+
+        threads = [threading.Thread(target=fetch_many) for __ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert results.count(200) == 40
+
+
+class TestMigrationOverSockets:
+    def test_redirect_and_lazy_pull(self, pair):
+        home, coop = pair
+        home_loc = home.engine.location
+        with home._lock:
+            home.engine.policy.force_migrate(
+                "/d.html", coop.engine.location, time.monotonic())
+        # Old URL now redirects...
+        request = Request(method="GET", target="/d.html")
+        response = http_fetch(home_loc, request)
+        assert response.status == 301
+        location = response.headers.get("Location")
+        assert "~migrate" in location
+        # ...and following it makes the co-op pull from home, over TCP.
+        outcome = fetch_url(url_of(home, "/d.html"))
+        assert outcome.status == 200
+        assert outcome.redirected
+        key = f"/~migrate/127.0.0.1/{home.port}/d.html"
+        assert coop.engine.hosted[key].fetched
+
+    def test_dirty_referrer_served_with_rewritten_links(self, pair):
+        home, coop = pair
+        with home._lock:
+            home.engine.policy.force_migrate(
+                "/d.html", coop.engine.location, time.monotonic())
+        outcome = fetch_url(url_of(home, "/index.html"))
+        assert outcome.status == 200
+        assert any("~migrate" in link for link in outcome.links)
+
+    def test_organic_migration_under_load(self, pair):
+        home, coop = pair
+        deadline = time.time() + 10.0
+        migrated = False
+        while time.time() < deadline and not migrated:
+            for __ in range(25):
+                fetch_url(url_of(home, "/d.html"))
+                fetch_url(url_of(home, "/i.gif"))
+            with home._lock:
+                migrated = bool(home.engine.graph.migrated_documents())
+        assert migrated, "no migration happened within the deadline"
+
+
+class TestPeriodicMachinery:
+    def test_pinger_spreads_load_information(self, pair):
+        home, coop = pair
+        deadline = time.time() + 5.0
+        while time.time() < deadline:
+            with coop._lock:
+                row = coop.engine.glt.get(home.engine.location)
+                if row is not None and row.timestamp > float("-inf"):
+                    return
+            time.sleep(0.1)
+        pytest.fail("pinger never spread load information")
+
+    def test_validation_refreshes_changed_content(self, pair):
+        home, coop = pair
+        with home._lock:
+            home.engine.policy.force_migrate(
+                "/e.html", coop.engine.location, time.monotonic())
+        # Pull the document to the co-op.
+        outcome = fetch_url(url_of(home, "/e.html"))
+        assert outcome.status == 200
+        with home._lock:
+            home.engine.update_document("/e.html", b"<html>edited</html>")
+        key = f"/~migrate/127.0.0.1/{home.port}/e.html"
+        deadline = time.time() + 8.0
+        while time.time() < deadline:
+            with coop._lock:
+                try:
+                    if coop.engine.store.get(key) == b"<html>edited</html>":
+                        return
+                except Exception:
+                    pass
+            time.sleep(0.2)
+        pytest.fail("validation never refreshed the co-op copy")
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self, pair):
+        home, __ = pair
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            home.start()
+
+    def test_context_manager(self):
+        loc = Location("127.0.0.1", free_port())
+        engine = DCWSEngine(loc, ServerConfig(), MemoryStore(SITE),
+                            entry_points=["/index.html"])
+        with ThreadedDCWSServer(engine) as server:
+            assert server.wait_ready()
+            assert fetch_url(url_of(server, "/e.html")).status == 200

@@ -1,0 +1,56 @@
+"""Property tests: entry-gate token algebra and forgery resistance."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.server.entrygate import EntryGate
+
+_secret = st.text(min_size=1, max_size=32)
+_time = st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+_ttl = st.floats(min_value=1.0, max_value=1e6, allow_nan=False)
+
+
+@given(_secret, _time, _ttl)
+@settings(max_examples=200)
+def test_fresh_token_always_validates(secret, now, ttl):
+    gate = EntryGate(secret, ttl=ttl)
+    assert gate.validate(gate.issue(now), now)
+
+
+@given(_secret, _time, _ttl, st.floats(min_value=0.0, max_value=1e6,
+                                       allow_nan=False))
+@settings(max_examples=200)
+def test_validity_window_is_exactly_ttl(secret, now, ttl, delay):
+    gate = EntryGate(secret, ttl=ttl)
+    token = gate.issue(now)
+    later = now + delay
+    expiry = int(now + ttl)
+    assert gate.validate(token, later) == (later <= expiry)
+
+
+@given(_secret, _secret, _time, _ttl)
+@settings(max_examples=200)
+def test_cross_secret_rejection(secret_a, secret_b, now, ttl):
+    if secret_a == secret_b:
+        return
+    issuer = EntryGate(secret_a, ttl=ttl)
+    verifier = EntryGate(secret_b, ttl=ttl)
+    assert not verifier.validate(issuer.issue(now), now)
+
+
+@given(_secret, _time, _ttl, st.integers(0, 30),
+       st.characters(min_codepoint=33, max_codepoint=126))
+@settings(max_examples=200)
+def test_tampered_token_rejected(secret, now, ttl, position, replacement):
+    gate = EntryGate(secret, ttl=ttl)
+    token = gate.issue(now)
+    index = position % len(token)
+    if token[index] == replacement:
+        return
+    tampered = token[:index] + replacement + token[index + 1:]
+    assert not gate.validate(tampered, now)
+
+
+@given(_secret, _time, _ttl)
+def test_tokens_are_deterministic_within_a_second(secret, now, ttl):
+    gate = EntryGate(secret, ttl=ttl)
+    assert gate.issue(now) == gate.issue(now)

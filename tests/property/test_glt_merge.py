@@ -1,0 +1,79 @@
+"""Property tests: GLT gossip converges regardless of delivery order."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.document import Location
+from repro.core.glt import GlobalLoadTable
+from repro.http.piggyback import LoadReport
+
+_server = st.sampled_from(["a:80", "b:80", "c:80", "d:80"])
+_report = st.builds(LoadReport, server=_server,
+                    metric=st.floats(0, 1e6, allow_nan=False),
+                    timestamp=st.floats(0, 1e6, allow_nan=False))
+# A real server emits exactly one measurement per (server, timestamp), so
+# ties between different metrics cannot occur on the wire; encode that.
+_reports = st.lists(_report, max_size=20,
+                    unique_by=lambda r: (r.server, r.timestamp))
+
+OWN = Location("own", 80)
+
+
+def table_after(reports):
+    table = GlobalLoadTable(OWN)
+    table.merge(reports)
+    return {r.server: r for r in table.snapshot()}
+
+
+@given(_reports, st.randoms())
+@settings(max_examples=200)
+def test_merge_order_independent(reports, rng):
+    shuffled = list(reports)
+    rng.shuffle(shuffled)
+    assert table_after(reports) == table_after(shuffled)
+
+
+@given(_reports)
+@settings(max_examples=200)
+def test_merge_idempotent(reports):
+    table = GlobalLoadTable(OWN)
+    table.merge(reports)
+    snapshot = table.snapshot()
+    assert table.merge(reports) == 0
+    assert table.snapshot() == snapshot
+
+
+@given(_reports)
+def test_winner_has_newest_timestamp(reports):
+    table = table_after(reports)
+    for server, winner in table.items():
+        newest = max(r.timestamp for r in reports if r.server == server)
+        assert winner.timestamp == newest
+
+
+@given(_reports, _reports)
+@settings(max_examples=200)
+def test_merge_commutes_across_batches(batch_a, batch_b):
+    forward = GlobalLoadTable(OWN)
+    forward.merge(batch_a)
+    forward.merge(batch_b)
+    backward = GlobalLoadTable(OWN)
+    backward.merge(batch_b)
+    backward.merge(batch_a)
+    # Same surviving (server, timestamp) pairs; metrics may differ only if
+    # two distinct reports share a timestamp (tie keeps first seen).
+    assert {(r.server, r.timestamp) for r in forward.snapshot()} == \
+        {(r.server, r.timestamp) for r in backward.snapshot()}
+
+
+@given(_reports)
+def test_least_loaded_is_minimal(reports):
+    table = GlobalLoadTable(OWN)
+    table.merge(reports)
+    choice = table.least_loaded()
+    if choice is None:
+        return
+    chosen = table.get(choice)
+    for row in table.snapshot():
+        assert chosen.metric <= row.metric

@@ -1,0 +1,53 @@
+"""Property tests: the ~migrate naming convention is a bijection."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.document import Location
+from repro.core.naming import (
+    decode_migrated_path,
+    encode_migrated_path,
+    is_migrated_path,
+    migrated_url,
+)
+from repro.http.urls import parse_url
+
+_host = st.text(alphabet="abcdefghij.-0123456789", min_size=1,
+                max_size=20).filter(
+    lambda h: not h.startswith((".", "-")))
+_port = st.integers(min_value=1, max_value=65535)
+_segment = st.text(alphabet="abcdefghij0123456789_.-", min_size=1,
+                   max_size=10).filter(
+    lambda s: s not in (".", "..") and s != "~migrate")
+_path = st.lists(_segment, min_size=1, max_size=6).map(
+    lambda parts: "/" + "/".join(parts))
+
+
+@given(_host, _port, _path)
+@settings(max_examples=300)
+def test_encode_decode_round_trip(host, port, path):
+    home = Location(host, port)
+    home_out, path_out = decode_migrated_path(encode_migrated_path(home, path))
+    assert home_out == home
+    assert path_out == path
+
+
+@given(_host, _port, _path)
+def test_encoded_form_is_recognizable(host, port, path):
+    encoded = encode_migrated_path(Location(host, port), path)
+    assert is_migrated_path(encoded)
+    assert not is_migrated_path(path)
+
+
+@given(_host, _port, _host, _port, _path)
+@settings(max_examples=200)
+def test_migrated_url_parses_back(coop_host, coop_port, home_host,
+                                  home_port, path):
+    coop = Location(coop_host, coop_port)
+    home = Location(home_host, home_port)
+    url = migrated_url(coop, home, path)
+    parsed = parse_url(str(url))
+    assert parsed.host == coop_host
+    assert parsed.port == coop_port
+    decoded_home, decoded_path = decode_migrated_path(parsed.path)
+    assert decoded_home == home
+    assert decoded_path == path

@@ -1,0 +1,82 @@
+"""Property tests: Algorithm 1's selection guarantees."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.document import Location
+from repro.core.ldg import LocalDocumentGraph
+from repro.core.selection import (
+    eligible_candidates,
+    select_documents_for_migration,
+)
+
+HOME = Location("home", 80)
+
+
+@st.composite
+def graphs(draw):
+    """Random small LDGs with hits and some entry points."""
+    count = draw(st.integers(2, 12))
+    graph = LocalDocumentGraph(HOME)
+    names = [f"/d{i}.html" for i in range(count)]
+    entry_flags = draw(st.lists(st.booleans(), min_size=count,
+                                max_size=count))
+    for name, is_entry in zip(names, entry_flags):
+        graph.add_document(name, size=100, entry_point=is_entry)
+    for name in names:
+        targets = draw(st.lists(st.sampled_from(names), max_size=4))
+        graph.set_links(name, targets)
+    for name in names:
+        graph.record_hit(name, draw(st.integers(0, 100)))
+    return graph
+
+
+@given(graphs(), st.floats(1.0, 50.0))
+@settings(max_examples=150, deadline=None)
+def test_never_selects_entry_points(graph, threshold):
+    for record in select_documents_for_migration(graph, threshold):
+        assert not record.entry_point
+
+
+@given(graphs(), st.floats(1.0, 50.0))
+@settings(max_examples=150, deadline=None)
+def test_never_selects_zero_hit_documents(graph, threshold):
+    for record in select_documents_for_migration(graph, threshold):
+        assert record.window_hits > 0
+
+
+@given(graphs(), st.floats(1.0, 50.0))
+@settings(max_examples=100, deadline=None)
+def test_selection_is_deterministic(graph, threshold):
+    first = [r.name for r in select_documents_for_migration(graph, threshold)]
+    second = [r.name for r in select_documents_for_migration(graph, threshold)]
+    assert first == second
+
+
+@given(graphs(), st.floats(1.0, 50.0))
+@settings(max_examples=100, deadline=None)
+def test_selected_minimizes_remote_linkfrom(graph, threshold):
+    candidates = eligible_candidates(graph, threshold)
+    chosen = select_documents_for_migration(graph, threshold)
+    if not chosen:
+        return
+    minimum = min(graph.remote_linkfrom_count(r.name) for r in candidates)
+    assert graph.remote_linkfrom_count(chosen[0].name) == minimum
+
+
+@given(graphs(), st.floats(1.0, 50.0), st.integers(1, 5))
+@settings(max_examples=100, deadline=None)
+def test_multi_selection_distinct_and_bounded(graph, threshold, count):
+    chosen = select_documents_for_migration(graph, threshold, count=count)
+    names = [r.name for r in chosen]
+    assert len(names) == len(set(names))
+    assert len(names) <= count
+
+
+@given(graphs())
+@settings(max_examples=100, deadline=None)
+def test_nonempty_whenever_a_hot_noneentry_document_exists(graph):
+    has_candidate = any(r.window_hits > 0 and not r.entry_point
+                        and r.location == HOME
+                        for r in graph.documents())
+    chosen = select_documents_for_migration(graph, threshold=10.0)
+    assert bool(chosen) == has_candidate

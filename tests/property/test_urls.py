@@ -1,0 +1,60 @@
+"""Property tests: URL parse/join/normalize invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.http.urls import URL, join_url, normalize_path, parse_url
+
+_host = st.text(alphabet="abcdefghij.-", min_size=1, max_size=15).filter(
+    lambda h: not h.startswith((".", "-")) and ":" not in h)
+_port = st.integers(min_value=1, max_value=65535)
+_segment = st.text(alphabet="abcdefghij0123456789_.-", min_size=1,
+                   max_size=8).filter(lambda s: s not in (".", ".."))
+_path = st.lists(_segment, max_size=5).map(lambda parts: "/" + "/".join(parts))
+
+
+@given(_host, _port, _path)
+@settings(max_examples=200)
+def test_parse_str_round_trip(host, port, path):
+    url = URL(host=host, port=port, path=path)
+    assert parse_url(str(url)) == url
+
+
+@given(_path)
+def test_normalize_is_idempotent(path):
+    once = normalize_path(path)
+    assert normalize_path(once) == once
+
+
+@given(_path)
+def test_normalize_output_absolute_and_clean(path):
+    normalized = normalize_path(path)
+    assert normalized.startswith("/")
+    assert "/./" not in normalized
+    assert "/../" not in normalized
+
+
+@given(_host, _port, _path, _path)
+@settings(max_examples=200)
+def test_join_absolute_path_keeps_server(host, port, base_path, ref_path):
+    base = URL(host, port, base_path)
+    joined = join_url(base, ref_path)
+    assert joined.host == host
+    assert joined.port == port
+    assert joined.path == normalize_path(ref_path)
+
+
+@given(_host, _port, _path, _segment)
+@settings(max_examples=200)
+def test_join_relative_stays_under_base_directory(host, port, base_path, name):
+    base = URL(host, port, base_path)
+    joined = join_url(base, name)
+    directory = base_path.rsplit("/", 1)[0]
+    assert joined.path.startswith(normalize_path(directory + "/").rstrip("/")
+                                  or "/")
+
+
+@given(_host, _port, _path)
+def test_join_with_absolute_url_replaces_everything(host, port, path):
+    base = URL("base", 80, "/dir/page.html")
+    target = URL(host, port, path)
+    assert join_url(base, str(target)) == target

@@ -1,0 +1,127 @@
+"""Unit tests for the analysis utilities."""
+
+import pytest
+
+from repro.analysis.scaling import (
+    crossover_point,
+    linear_fit,
+    pairs_sorted,
+    relative_spread,
+    saturation_knee,
+    scaling_efficiency,
+)
+from repro.analysis.textplot import text_plot
+
+
+class TestLinearFit:
+    def test_perfect_line(self):
+        fit = linear_fit([1, 2, 3, 4], [3, 5, 7, 9])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(10) == pytest.approx(21.0)
+
+    def test_noisy_line_r_squared_below_one(self):
+        fit = linear_fit([1, 2, 3, 4], [3, 5.5, 6.5, 9])
+        assert 0.9 < fit.r_squared < 1.0
+
+    def test_flat_series(self):
+        fit = linear_fit([1, 2, 3], [5, 5, 5])
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            linear_fit([1], [2])
+        with pytest.raises(ValueError):
+            linear_fit([1, 1], [2, 3])
+        with pytest.raises(ValueError):
+            linear_fit([1, 2], [1])
+
+
+class TestScalingEfficiency:
+    def test_perfectly_linear(self):
+        assert scaling_efficiency([2, 4, 8], [100, 200, 400]) == \
+            pytest.approx(1.0)
+
+    def test_sublinear(self):
+        # SBLog-style: 4x hardware, 2.4x throughput.
+        assert scaling_efficiency([2, 8], [1000, 2400]) == pytest.approx(0.6)
+
+    def test_order_independent(self):
+        assert scaling_efficiency([8, 2], [400, 100]) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scaling_efficiency([2], [100])
+        with pytest.raises(ValueError):
+            scaling_efficiency([2, 2], [1, 2])
+
+
+class TestSaturationKnee:
+    def test_finds_plateau_start(self):
+        # Rises then flat at ~1000 from x=100 on.
+        xs = [25, 50, 75, 100, 125, 150]
+        ys = [250, 500, 750, 990, 1005, 995]
+        assert saturation_knee(xs, ys) == 100
+
+    def test_still_rising_returns_none(self):
+        assert saturation_knee([1, 2, 3], [10, 20, 30]) is None
+
+    def test_all_zero_returns_none(self):
+        assert saturation_knee([1, 2], [0, 0]) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            saturation_knee([], [])
+
+
+class TestCrossover:
+    def test_simple_crossover(self):
+        xs = [0, 1, 2, 3]
+        a = [0, 1, 2, 3]       # grows slowly
+        b = [2, 2, 2, 2]       # flat
+        x = crossover_point(xs, a, b)
+        assert x == pytest.approx(2.0)
+
+    def test_no_crossover(self):
+        xs = [0, 1, 2]
+        assert crossover_point(xs, [1, 2, 3], [5, 6, 7]) is None
+
+    def test_touching_counts(self):
+        xs = [0, 1, 2]
+        assert crossover_point(xs, [0, 2, 4], [0, 1, 1]) is not None
+
+
+class TestHelpers:
+    def test_relative_spread(self):
+        assert relative_spread([10, 10, 10]) == 0.0
+        assert relative_spread([5, 10, 15]) == pytest.approx(1.0)
+        assert relative_spread([]) == 0.0
+
+    def test_pairs_sorted(self):
+        xs, ys = pairs_sorted([3, 1, 2], [30, 10, 20])
+        assert xs == (1, 2, 3)
+        assert ys == (10, 20, 30)
+
+
+class TestTextPlot:
+    def test_renders_all_series(self):
+        chart = text_plot({"cps": [0, 50, 100], "bps": [100, 50, 0]},
+                          xs=[0, 1, 2], width=20, height=5, title="T")
+        assert chart.startswith("T")
+        assert "*" in chart and "o" in chart
+        assert "bps" in chart and "cps" in chart
+
+    def test_flat_series_renders(self):
+        chart = text_plot({"flat": [5, 5, 5]}, xs=[0, 1, 2],
+                          width=12, height=4)
+        assert "*" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            text_plot({}, xs=[1])
+        with pytest.raises(ValueError):
+            text_plot({"a": [1, 2]}, xs=[1])
+        with pytest.raises(ValueError):
+            text_plot({"a": [1]}, xs=[1], width=2, height=2)

@@ -1,0 +1,105 @@
+"""Unit tests for workload characterization."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.workload import (
+    characterize,
+    per_client_requests,
+    popularity_concentration,
+    zipf_fit,
+)
+from repro.datasets.logs import LogRecord, generate_access_log
+from repro.datasets.synthetic import build_synthetic_site
+
+
+def trace_from_counts(counts):
+    """A trace where document i appears counts[i] times."""
+    records = []
+    t = 0.0
+    for index, count in enumerate(counts):
+        for __ in range(count):
+            records.append(LogRecord(time=t, client=f"c{index % 3}",
+                                     path=f"/d{index}.html",
+                                     size=1000 * (index + 1)))
+            t += 0.1
+    return records
+
+
+class TestZipfFit:
+    def test_uniform_popularity_exponent_near_zero(self):
+        exponent, __ = zipf_fit({f"/d{i}": 50 for i in range(20)})
+        assert abs(exponent) < 0.01
+
+    def test_zipfian_counts_recovered(self):
+        # counts ~ rank^-1: classic web popularity.
+        counts = {f"/d{rank}": max(1, int(1000 / rank))
+                  for rank in range(1, 50)}
+        exponent, r_squared = zipf_fit(counts)
+        assert exponent == pytest.approx(1.0, abs=0.15)
+        assert r_squared > 0.95
+
+    def test_single_document(self):
+        assert zipf_fit({"/only": 7}) == (0.0, 1.0)
+
+
+class TestConcentration:
+    def test_uniform(self):
+        frequency = {f"/d{i}": 10 for i in range(10)}
+        assert popularity_concentration(frequency, 0.10) == \
+            pytest.approx(0.1)
+
+    def test_single_hot_spot(self):
+        frequency = {"/hot": 910, **{f"/d{i}": 10 for i in range(9)}}
+        assert popularity_concentration(frequency, 0.10) == \
+            pytest.approx(0.91)
+
+    def test_empty(self):
+        assert popularity_concentration({}, 0.10) == 0.0
+
+
+class TestCharacterize:
+    def test_basic_counts(self):
+        records = trace_from_counts([5, 3, 2])
+        profile = characterize(records)
+        assert profile.requests == 10
+        assert profile.distinct_documents == 3
+        assert profile.distinct_clients == 3
+
+    def test_small_transfer_share(self):
+        records = [LogRecord(0.0, "c", "/a", size=500),
+                   LogRecord(0.1, "c", "/b", size=50_000)]
+        profile = characterize(records)
+        assert profile.small_transfer_share == pytest.approx(0.5)
+        assert profile.mean_bytes == pytest.approx(25_250)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            characterize([])
+
+    def test_format_is_complete(self):
+        text = characterize(trace_from_counts([4, 2])).format()
+        assert "Zipf exponent" in text
+        assert "top-10%" in text
+
+    def test_synthetic_hot_spot_site_measures_skewed(self):
+        hot = build_synthetic_site(pages=30, images=10, image_skew=1.0,
+                                   images_per_page=3, seed=3)
+        flat = build_synthetic_site(pages=30, images=10, image_skew=0.0,
+                                    images_per_page=3, seed=3)
+        hot_profile = characterize(generate_access_log(
+            hot, duration=120.0, sequences_per_second=2.0, seed=2))
+        flat_profile = characterize(generate_access_log(
+            flat, duration=120.0, sequences_per_second=2.0, seed=2))
+        # The single shared image concentrates popularity.
+        assert hot_profile.top_decile_share > flat_profile.top_decile_share
+
+
+class TestPerClient:
+    def test_descending_counts(self):
+        records = trace_from_counts([4, 2, 1])
+        counts = per_client_requests(records)
+        assert counts == sorted(counts, reverse=True)
+        assert sum(counts) == len(records)

@@ -1,0 +1,85 @@
+"""Tests for the round-robin DNS and TCP-router baseline clusters."""
+
+import pytest
+
+from repro.baselines import RoundRobinDNSCluster, TCPRouterCluster
+from repro.core.config import ServerConfig
+from repro.datasets.synthetic import build_synthetic_site
+from repro.sim.cluster import ClusterConfig
+
+
+def quick_config(**kwargs):
+    defaults = dict(servers=2, clients=12, duration=20.0,
+                    sample_interval=5.0, seed=3,
+                    server_config=ServerConfig().scaled(0.2))
+    defaults.update(kwargs)
+    return ClusterConfig(**defaults)
+
+
+def site():
+    return build_synthetic_site(pages=20, images=8, fanout=4, seed=5)
+
+
+class TestRoundRobinDNS:
+    def test_serves_traffic(self):
+        result = RoundRobinDNSCluster(site(), quick_config()).run()
+        assert result.client_stats.requests > 100
+        assert result.steady_cps() > 0
+
+    def test_load_spread_across_replicas(self):
+        result = RoundRobinDNSCluster(site(), quick_config(clients=16),
+                                      dns_ttl=2.0).run()
+        served = [info["served"] for info in result.per_server.values()]
+        assert min(served) > 0
+        assert max(served) < sum(served)  # nobody serves everything
+
+    def test_storage_is_n_copies(self):
+        the_site = site()
+        result = RoundRobinDNSCluster(the_site, quick_config(servers=4)).run()
+        assert result.storage_bytes == 4 * the_site.stats.total_bytes
+
+    def test_long_ttl_coarsens_balance(self):
+        # With a TTL longer than the run every client sticks to one
+        # replica; with few clients that is visibly coarser than short TTL.
+        config = quick_config(clients=3, servers=3)
+        sticky = RoundRobinDNSCluster(site(), config, dns_ttl=1e9).run()
+        served = sorted(info["served"] for info in sticky.per_server.values())
+        assert served[0] < served[-1] or served[0] > 0
+
+    def test_scales_with_servers(self):
+        small = RoundRobinDNSCluster(site(),
+                                     quick_config(servers=1, clients=48)).run()
+        large = RoundRobinDNSCluster(site(),
+                                     quick_config(servers=4, clients=48)).run()
+        assert large.steady_cps() > small.steady_cps() * 1.5
+
+
+class TestTCPRouter:
+    def test_serves_traffic(self):
+        result = TCPRouterCluster(site(), quick_config()).run()
+        assert result.client_stats.requests > 100
+        assert result.steady_cps() > 0
+
+    def test_backends_round_robin(self):
+        result = TCPRouterCluster(site(), quick_config(clients=16)).run()
+        served = [info["served"] for name, info in result.per_server.items()
+                  if name.startswith("backend")]
+        assert min(served) > 0
+        # Round-robin is nearly perfectly even.
+        assert max(served) - min(served) <= max(served) * 0.2 + 5
+
+    def test_router_utilization_reported(self):
+        result = TCPRouterCluster(site(), quick_config()).run()
+        router = result.per_server["router"]
+        assert 0.0 <= router["cpu_utilization"] <= 1.0
+        assert 0.0 <= router["nic_utilization"] <= 1.0
+
+    def test_router_caps_scaling(self):
+        # Doubling backends cannot push aggregate BPS past the router NIC.
+        big_site = build_synthetic_site(pages=20, images=8, fanout=4,
+                                        page_bytes=30000, image_bytes=30000,
+                                        seed=5)
+        result = TCPRouterCluster(
+            big_site, quick_config(servers=8, clients=100)).run()
+        router_nic_capacity = result.series.peak_bps()
+        assert router_nic_capacity <= 100e6 / 8 * 1.2  # ~12.5 MB/s + slack

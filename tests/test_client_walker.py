@@ -1,0 +1,149 @@
+"""Unit tests for the synchronous Algorithm 2 walker."""
+
+import random
+
+import pytest
+
+from repro.client.walker import (
+    ExponentialBackoff,
+    FetchOutcome,
+    RandomWalker,
+    select_next_link,
+)
+from repro.http.urls import URL
+
+
+class TestBackoff:
+    def test_doubling(self):
+        backoff = ExponentialBackoff()
+        assert [backoff.on_drop() for __ in range(4)] == [1.0, 2.0, 4.0, 8.0]
+
+    def test_ceiling(self):
+        backoff = ExponentialBackoff(base=1.0, ceiling=4.0)
+        delays = [backoff.on_drop() for __ in range(5)]
+        assert delays[-1] == 4.0
+
+    def test_success_resets(self):
+        backoff = ExponentialBackoff()
+        backoff.on_drop()
+        backoff.on_drop()
+        backoff.on_success()
+        assert backoff.on_drop() == 1.0
+
+    def test_custom_base(self):
+        backoff = ExponentialBackoff(base=0.3)
+        assert backoff.on_drop() == pytest.approx(0.3)
+        assert backoff.on_drop() == pytest.approx(0.6)
+
+
+class TestSelectNextLink:
+    def test_empty_returns_none(self):
+        assert select_next_link([], random.Random(0)) is None
+
+    def test_uniform_choice(self):
+        rng = random.Random(0)
+        seen = {select_next_link(["a", "b", "c"], rng) for __ in range(100)}
+        assert seen == {"a", "b", "c"}
+
+
+class FakeSite:
+    """An in-memory site answering walker fetches."""
+
+    def __init__(self):
+        self.pages = {
+            "http://h/index.html": FetchOutcome(
+                status=200, size=1000,
+                links=["a.html", "b.html"], images=["i.gif"]),
+            "http://h/a.html": FetchOutcome(status=200, size=500,
+                                            links=["b.html"]),
+            "http://h/b.html": FetchOutcome(status=200, size=500, links=[]),
+            "http://h/i.gif": FetchOutcome(status=200, size=2000),
+        }
+        self.requests = []
+        self.drop_next = 0
+
+    def fetch(self, url: URL) -> FetchOutcome:
+        self.requests.append(str(url))
+        if self.drop_next > 0:
+            self.drop_next -= 1
+            return FetchOutcome(status=503)
+        return self.pages.get(str(url), FetchOutcome(status=404))
+
+
+def make_walker(site, **kwargs):
+    kwargs.setdefault("seed", 42)
+    kwargs.setdefault("sleep", lambda s: None)
+    return RandomWalker(["http://h/index.html"], site.fetch, **kwargs)
+
+
+class TestWalker:
+    def test_requires_entry_points(self):
+        with pytest.raises(ValueError):
+            RandomWalker([], lambda u: FetchOutcome(200))
+
+    def test_sequence_starts_at_entry(self):
+        site = FakeSite()
+        walker = make_walker(site)
+        walker.run_sequence()
+        assert site.requests[0] == "http://h/index.html"
+
+    def test_images_fetched_with_page(self):
+        site = FakeSite()
+        walker = make_walker(site)
+        walker.run_sequence()
+        assert "http://h/i.gif" in site.requests
+
+    def test_cache_prevents_refetch_within_sequence(self):
+        site = FakeSite()
+        walker = make_walker(site, min_steps=25, max_steps=25)
+        walker.run_sequence()
+        # index.html fetched exactly once despite possible revisits.
+        assert site.requests.count("http://h/index.html") == 1
+
+    def test_cache_reset_between_sequences(self):
+        site = FakeSite()
+        walker = make_walker(site)
+        walker.run(sequences=3)
+        assert site.requests.count("http://h/index.html") == 3
+
+    def test_503_backs_off_and_retries(self):
+        site = FakeSite()
+        site.drop_next = 2
+        slept = []
+        walker = make_walker(site, sleep=slept.append)
+        walker.run_sequence()
+        assert walker.stats.drops == 2
+        assert slept == [1.0, 2.0]
+        assert walker.stats.backoff_time == 3.0
+
+    def test_stats_accumulate(self):
+        site = FakeSite()
+        walker = make_walker(site)
+        stats = walker.run(sequences=5)
+        assert stats.sequences == 5
+        assert stats.requests >= 5
+        assert stats.bytes_received > 0
+
+    def test_sequence_ends_on_leaf_page(self):
+        site = FakeSite()
+        # Every page links only to b.html, which has no links.
+        walker = make_walker(site, min_steps=25, max_steps=25)
+        walker.run_sequence()
+        assert walker.stats.steps <= 25
+
+    def test_404_ends_sequence(self):
+        site = FakeSite()
+        site.pages["http://h/index.html"] = FetchOutcome(
+            status=200, size=10, links=["missing.html"])
+        walker = make_walker(site)
+        walker.run_sequence()
+        assert walker.stats.errors >= 0  # sequence terminated, no crash
+
+    def test_transport_exception_counted(self):
+        def broken(url):
+            raise OSError("connection refused")
+
+        walker = RandomWalker(["http://h/x.html"], broken,
+                              sleep=lambda s: None)
+        walker.run_sequence()
+        assert walker.stats.errors == 1

@@ -1,0 +1,91 @@
+"""Unit tests for the structured event log."""
+
+import pytest
+
+from repro.core.eventlog import Event, EventLog
+
+
+class TestRecording:
+    def test_record_and_query(self):
+        log = EventLog()
+        log.record(1.0, "migrate", name="/d.html", target="coop:80")
+        log.record(2.0, "ping", peer="coop:80")
+        assert len(log) == 2
+        assert [e.kind for e in log.events()] == ["migrate", "ping"]
+        assert log.events(kind="migrate")[0].fields["name"] == "/d.html"
+
+    def test_since_filter(self):
+        log = EventLog()
+        log.record(1.0, "a")
+        log.record(5.0, "a")
+        assert len(log.events(since=3.0)) == 1
+
+    def test_counts_survive_eviction(self):
+        log = EventLog(capacity=3)
+        for index in range(10):
+            log.record(float(index), "migrate")
+        assert len(log) == 3
+        assert log.count("migrate") == 10
+        assert log.counts() == {"migrate": 10}
+
+    def test_last(self):
+        log = EventLog()
+        log.record(1.0, "a")
+        log.record(2.0, "b")
+        log.record(3.0, "a")
+        assert log.last().time == 3.0
+        assert log.last("b").time == 2.0
+        assert log.last("missing") is None
+        assert EventLog().last() is None
+
+    def test_tail(self):
+        log = EventLog()
+        for index in range(5):
+            log.record(float(index), "e", n=index)
+        tail = log.tail(2)
+        assert [e.fields["n"] for e in tail] == [3, 4]
+        assert log.tail(0) == []
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+
+class TestRendering:
+    def test_render_is_stable(self):
+        event = Event(1.5, "migrate", {"name": "/d", "target": "c:80"})
+        assert event.render() == "[     1.500] migrate            name=/d target=c:80"
+
+    def test_render_tail(self):
+        log = EventLog()
+        log.record(1.0, "a")
+        log.record(2.0, "b")
+        text = log.render_tail()
+        assert "a" in text and "b" in text
+        assert text.index("a") < text.index("b")
+
+
+class TestEngineIntegration:
+    def test_engine_logs_migration_events(self):
+        from repro.core.config import ServerConfig
+        from repro.core.document import Location
+        from repro.http.messages import Request
+        from repro.http.piggyback import LoadReport
+        from repro.server.engine import DCWSEngine
+        from repro.server.filestore import MemoryStore
+
+        home = Location("home", 8001)
+        coop = Location("coop", 8002)
+        engine = DCWSEngine(home, ServerConfig(stats_interval=1.0,
+                                               migration_hit_threshold=1.0),
+                            MemoryStore({"/a.html": b"<html>x</html>"}),
+                            peers=[coop])
+        engine.initialize(0.0)
+        for index in range(30):
+            engine.handle_request(Request("GET", "/a.html"),
+                                  1.0 + index * 0.001)
+        engine.glt.observe(LoadReport("coop:8002", 0.0, 0.9))
+        engine.tick(1.5)
+        migrate_events = engine.log.events(kind="migrate")
+        assert migrate_events
+        assert migrate_events[0].fields["name"] == "/a.html"

@@ -1,0 +1,207 @@
+"""Tests for the four paper data sets and the synthetic generator.
+
+Each generated corpus must reproduce the published statistics (section
+5.2) within tolerance, carry the documented topology (hot images, entry
+points), and parse cleanly with the project's own HTML parser.
+"""
+
+import pytest
+
+from repro.datasets import (
+    DATASET_BUILDERS,
+    build_lod,
+    build_mapug,
+    build_sblog,
+    build_sequoia,
+    build_synthetic_site,
+)
+from repro.html.links import extract_links
+from repro.html.parser import parse_html
+
+
+def links_of(site, name):
+    return extract_links(parse_html(site.documents[name].decode("latin-1")))
+
+
+class TestMapug:
+    SITE = build_mapug()
+
+    def test_published_statistics(self):
+        stats = self.SITE.stats
+        # Paper: 1,534 documents, 28,998 links, 5,918 KB.
+        assert stats.documents == pytest.approx(1534, rel=0.02)
+        assert stats.links == pytest.approx(28998, rel=0.15)
+        assert stats.total_kbytes == pytest.approx(5918, rel=0.15)
+
+    def test_entry_point_exists(self):
+        assert self.SITE.entry_points == ["/index.html"]
+        assert "/index.html" in self.SITE.documents
+
+    def test_messages_carry_six_buttons(self):
+        images = [l for l in links_of(self.SITE, "/msg/m0100.html")
+                  if l.embedded]
+        assert len(images) == 6
+        assert all(v.value.startswith("/buttons/") for v in images)
+
+    def test_buttons_are_hot(self):
+        # Every message references every button: the canonical hot spot.
+        referencing = sum(
+            1 for name in self.SITE.documents
+            if name.startswith("/msg/") and
+            any(l.value == "/buttons/next.gif"
+                for l in links_of(self.SITE, name)))
+        assert referencing == sum(1 for n in self.SITE.documents
+                                  if n.startswith("/msg/"))
+
+    def test_thread_navigation_links(self):
+        links = {l.value for l in links_of(self.SITE, "/msg/m0100.html")}
+        assert "/msg/m0101.html" in links   # next
+        assert "/msg/m0099.html" in links   # previous
+
+    def test_deterministic(self):
+        assert build_mapug(seed=3).documents == build_mapug(seed=3).documents
+        assert build_mapug(seed=3).documents != build_mapug(seed=4).documents
+
+
+class TestSblog:
+    SITE = build_sblog()
+
+    def test_published_statistics(self):
+        stats = self.SITE.stats
+        # Paper: 402 documents, 57,531 links, 8,468 KB.
+        assert stats.documents == pytest.approx(402, rel=0.02)
+        assert stats.links == pytest.approx(57531, rel=0.15)
+        assert stats.total_kbytes == pytest.approx(8468, rel=0.15)
+
+    def test_single_image(self):
+        assert self.SITE.stats.images == 1
+
+    def test_bar_jpeg_extremely_popular(self):
+        detail_links = links_of(self.SITE, "/detail/file_0001.html")
+        bars = [l for l in detail_links if l.value == "/img/bar.jpg"]
+        assert len(bars) > 100  # one per histogram bar
+
+    def test_every_html_page_references_bar(self):
+        html_names = [n for n in self.SITE.documents if n.endswith(".html")]
+        for name in html_names[:20]:
+            values = {l.value for l in links_of(self.SITE, name)}
+            assert "/img/bar.jpg" in values
+
+
+class TestLod:
+    SITE = build_lod()
+
+    def test_published_statistics(self):
+        stats = self.SITE.stats
+        # Paper: 349 documents (240 images), 1,433 links, 750 KB.
+        assert stats.documents == pytest.approx(349, rel=0.02)
+        assert stats.images == 240
+        assert stats.links == pytest.approx(1433, rel=0.15)
+        assert stats.total_kbytes == pytest.approx(750, rel=0.15)
+
+    def test_table_pages_have_fifty_thumbnails(self):
+        images = [l for l in links_of(self.SITE, "/tables/t0.html")
+                  if l.embedded]
+        assert len(images) == 50
+
+    def test_bimodal_image_sizes(self):
+        sizes = [len(data) for name, data in self.SITE.documents.items()
+                 if name.startswith("/img/")]
+        small = [s for s in sizes if s < 2500]
+        large = [s for s in sizes if s >= 2500]
+        assert len(small) == pytest.approx(len(large), abs=5)
+        assert sum(small) / len(small) == pytest.approx(1536, rel=0.25)
+        assert sum(large) / len(large) == pytest.approx(3584, rel=0.25)
+
+    def test_no_single_hot_image(self):
+        # No image is referenced by more than a handful of pages.
+        from collections import Counter
+
+        counter = Counter()
+        for name in self.SITE.documents:
+            if name.endswith(".html"):
+                for link in links_of(self.SITE, name):
+                    if link.embedded:
+                        counter[link.value] += 1
+        most_common = counter.most_common(1)[0][1]
+        html_count = self.SITE.stats.html_documents
+        assert most_common < html_count / 4
+
+
+class TestSequoia:
+    SITE = build_sequoia()
+
+    def test_structure(self):
+        stats = self.SITE.stats
+        assert stats.documents == 131          # 130 rasters + front page
+        assert stats.links == 130              # one hyperlink per raster
+        assert stats.images == 130
+
+    def test_sizes_scaled_from_paper_range(self):
+        from repro.datasets.sequoia import DEFAULT_SCALE
+
+        sizes = [len(d) for n, d in self.SITE.documents.items()
+                 if n.startswith("/raster/")]
+        assert min(sizes) >= 1_000_000 * DEFAULT_SCALE * 0.9
+        assert max(sizes) <= 2_800_000 * DEFAULT_SCALE * 1.1
+
+    def test_full_scale_sizes(self):
+        site = build_sequoia(scale=1.0, seed=1)
+        sizes = [len(d) for n, d in site.documents.items()
+                 if n.startswith("/raster/")]
+        assert 1_000_000 <= min(sizes)
+        assert max(sizes) <= 2_800_000
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            build_sequoia(scale=0.0)
+        with pytest.raises(ValueError):
+            build_sequoia(scale=1.5)
+
+    def test_front_page_links_every_raster(self):
+        values = {l.value for l in links_of(self.SITE, "/index.html")}
+        assert len([v for v in values if v.startswith("/raster/")]) == 130
+
+
+class TestSynthetic:
+    def test_page_and_image_counts(self):
+        site = build_synthetic_site(pages=30, images=10, seed=1)
+        stats = site.stats
+        assert stats.html_documents == 30
+        assert stats.images == 10
+
+    def test_full_hot_spot_skew(self):
+        site = build_synthetic_site(pages=20, images=10, image_skew=1.0,
+                                    images_per_page=2, seed=1)
+        for name in site.documents:
+            if name.endswith(".html"):
+                embedded = [l.value for l in links_of(site, name)
+                            if l.embedded]
+                assert set(embedded) <= {"/img/i000.gif"}
+
+    def test_ring_guarantees_reachability(self):
+        site = build_synthetic_site(pages=10, images=0, fanout=1, seed=1)
+        for index in range(10):
+            values = {l.value for l in links_of(site, f"/page{index:03d}.html")}
+            assert f"/page{(index + 1) % 10:03d}.html" in values
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            build_synthetic_site(pages=0)
+        with pytest.raises(ValueError):
+            build_synthetic_site(image_skew=2.0)
+
+    def test_entry_count(self):
+        site = build_synthetic_site(pages=10, entry_count=3, seed=1)
+        assert len(site.entry_points) == 3
+
+
+class TestRegistry:
+    def test_all_builders_present(self):
+        assert set(DATASET_BUILDERS) == {"mapug", "sblog", "lod", "sequoia"}
+
+    def test_entry_points_always_in_documents(self):
+        for builder in DATASET_BUILDERS.values():
+            site = builder(seed=0)
+            for entry in site.entry_points:
+                assert entry in site.documents

@@ -1,0 +1,104 @@
+"""Unit tests for access-log synthesis and parsing."""
+
+import pytest
+
+from repro.datasets.logs import (
+    LogRecord,
+    generate_access_log,
+    parse_clf,
+    site_link_graph,
+    trace_statistics,
+)
+from repro.datasets.synthetic import build_synthetic_site
+
+
+@pytest.fixture(scope="module")
+def site():
+    return build_synthetic_site(pages=15, images=5, fanout=3, seed=4)
+
+
+@pytest.fixture(scope="module")
+def trace(site):
+    return generate_access_log(site, duration=60.0,
+                               sequences_per_second=1.0, seed=2)
+
+
+class TestGeneration:
+    def test_records_sorted_by_time(self, trace):
+        times = [record.time for record in trace]
+        assert times == sorted(times)
+
+    def test_every_path_exists_on_site(self, site, trace):
+        for record in trace:
+            assert record.path in site.documents
+
+    def test_first_request_of_each_client_is_an_entry(self, site, trace):
+        seen = set()
+        for record in trace:
+            if record.client not in seen:
+                seen.add(record.client)
+                if record.path.endswith(".html"):
+                    assert record.path in site.entry_points
+
+    def test_deterministic(self, site):
+        first = generate_access_log(site, duration=30.0, seed=9)
+        second = generate_access_log(site, duration=30.0, seed=9)
+        assert first == second
+
+    def test_sequences_respect_duration(self, trace):
+        __, __, span = trace_statistics(trace)
+        # Walks may run past the arrival cutoff, but not unboundedly.
+        assert span < 60.0 + 25 * 3.0
+
+    def test_statistics(self, trace):
+        requests, clients, span = trace_statistics(trace)
+        assert requests == len(trace)
+        assert clients > 10
+        assert trace_statistics([]) == (0, 0, 0.0)
+
+
+class TestLinkGraph:
+    def test_graph_matches_site(self, site):
+        graph = site_link_graph(site)
+        assert set(graph) == set(site.documents)
+        for name, targets in graph.items():
+            for target in targets:
+                assert target in site.documents
+
+    def test_images_have_no_outlinks(self, site):
+        graph = site_link_graph(site)
+        for name in site.documents:
+            if name.endswith(".gif"):
+                assert graph[name] == []
+
+
+class TestCLF:
+    def test_round_trip(self):
+        record = LogRecord(time=75.0, client="10.0.0.1",
+                           path="/a/b.html", status=200, size=1234)
+        parsed = parse_clf([record.to_clf()])
+        assert len(parsed) == 1
+        assert parsed[0].client == "10.0.0.1"
+        assert parsed[0].path == "/a/b.html"
+        assert parsed[0].status == 200
+        assert parsed[0].size == 1234
+
+    def test_parse_real_world_line(self):
+        line = ('marlin.cs.arizona.edu - - [01/Aug/1998:12:00:01 -0700] '
+                '"GET /dcws/index.html HTTP/1.0" 200 5918')
+        parsed = parse_clf([line])
+        assert parsed[0].path == "/dcws/index.html"
+
+    def test_dash_size(self):
+        line = ('a - - [01/Aug/1998:12:00:01 -0700] '
+                '"GET /x HTTP/1.0" 304 -')
+        assert parse_clf([line])[0].size == 0
+
+    def test_garbage_skipped(self):
+        assert parse_clf(["not a log line", ""]) == []
+
+    def test_synthetic_times_monotonic(self):
+        lines = [LogRecord(0, "c", f"/p{i}").to_clf() for i in range(5)]
+        parsed = parse_clf(lines)
+        times = [record.time for record in parsed]
+        assert times == sorted(times)

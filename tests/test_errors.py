@@ -1,0 +1,29 @@
+"""Exception hierarchy sanity checks."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        errors.HTTPError, errors.URLError, errors.HTMLParseError,
+        errors.DocumentNotFound, errors.MigrationError, errors.NamingError,
+        errors.SimulationError, errors.ConfigError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_url_error_is_http_error(self):
+        # URL problems surface through the HTTP layer.
+        assert issubclass(errors.URLError, errors.HTTPError)
+
+    def test_document_not_found_carries_name(self):
+        exc = errors.DocumentNotFound("/missing.html")
+        assert exc.name == "/missing.html"
+        assert "/missing.html" in str(exc)
+
+    def test_one_catch_for_the_whole_api(self):
+        # Library callers can catch ReproError at the boundary.
+        with pytest.raises(errors.ReproError):
+            raise errors.MigrationError("nope")

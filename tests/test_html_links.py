@@ -1,0 +1,75 @@
+"""Unit tests for link extraction."""
+
+from repro.html.links import extract_links, is_followable, link_elements
+from repro.html.parser import parse_html
+
+
+class TestExtraction:
+    def test_anchor_and_image(self):
+        doc = parse_html('<a href="b.html">b</a><img src="i.gif">')
+        links = extract_links(doc)
+        assert [(l.tag, l.value, l.embedded) for l in links] == [
+            ("a", "b.html", False), ("img", "i.gif", True)]
+
+    def test_frames_extracted(self):
+        doc = parse_html('<frameset><frame src="menu.html">'
+                         '<frame src="body.html"></frameset>')
+        assert [l.value for l in extract_links(doc)] == \
+            ["menu.html", "body.html"]
+
+    def test_body_background(self):
+        doc = parse_html('<body background="bg.gif">x</body>')
+        links = extract_links(doc)
+        assert links[0].value == "bg.gif"
+        assert links[0].embedded is True
+
+    def test_area_and_link_tags(self):
+        doc = parse_html('<area href="map.html"><link href="style.css">')
+        assert [l.tag for l in extract_links(doc)] == ["area", "link"]
+
+    def test_duplicate_references_all_reported(self):
+        doc = parse_html('<img src="bar.jpg"><img src="bar.jpg">')
+        assert len(extract_links(doc)) == 2
+
+    def test_document_order(self):
+        doc = parse_html('<a href="1"><img src="2"></a><a href="3">x</a>')
+        assert [l.value for l in extract_links(doc)] == ["1", "2", "3"]
+
+    def test_missing_attribute_skipped(self):
+        doc = parse_html('<a name="anchor">x</a><img alt="no src">')
+        assert extract_links(doc) == []
+
+    def test_value_whitespace_stripped(self):
+        doc = parse_html('<a href=" b.html ">x</a>')
+        assert extract_links(doc)[0].value == "b.html"
+
+
+class TestFollowable:
+    def test_fragment_only_not_followable(self):
+        assert not is_followable("#top")
+
+    def test_empty_not_followable(self):
+        assert not is_followable("")
+        assert not is_followable("   ")
+
+    def test_mailto_not_followable(self):
+        assert not is_followable("mailto:a@b.c")
+        assert not is_followable("MAILTO:a@b.c")
+
+    def test_javascript_not_followable(self):
+        assert not is_followable("javascript:void(0)")
+
+    def test_https_not_followable(self):
+        # The 1998 prototype speaks plain http only.
+        assert not is_followable("https://secure/x")
+
+    def test_relative_and_absolute_followable(self):
+        assert is_followable("x.html")
+        assert is_followable("/x.html")
+        assert is_followable("http://h/x.html")
+
+    def test_link_elements_matches_extract(self):
+        doc = parse_html('<a href="a.html">1</a><a href="#f">2</a>'
+                         '<img src="i.gif">')
+        elements = link_elements(doc)
+        assert len(elements) == len(extract_links(doc)) == 2

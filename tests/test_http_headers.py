@@ -1,0 +1,128 @@
+"""Unit tests for the case-insensitive HTTP header multimap."""
+
+import pytest
+
+from repro.errors import HTTPError
+from repro.http.headers import Headers
+
+
+class TestAddGet:
+    def test_get_is_case_insensitive(self):
+        headers = Headers()
+        headers.add("Content-Type", "text/html")
+        assert headers.get("content-type") == "text/html"
+        assert headers.get("CONTENT-TYPE") == "text/html"
+
+    def test_get_missing_returns_default(self):
+        assert Headers().get("X-Missing") is None
+        assert Headers().get("X-Missing", "d") == "d"
+
+    def test_add_preserves_multiple_values(self):
+        headers = Headers()
+        headers.add("X-DCWS-Load", "a")
+        headers.add("X-DCWS-Load", "b")
+        assert headers.get_all("x-dcws-load") == ["a", "b"]
+
+    def test_get_returns_first_value(self):
+        headers = Headers([("X", "1"), ("X", "2")])
+        assert headers.get("x") == "1"
+
+    def test_add_strips_value_whitespace(self):
+        headers = Headers()
+        headers.add("Host", "  example  ")
+        assert headers.get("host") == "example"
+
+    def test_add_rejects_invalid_name(self):
+        with pytest.raises(HTTPError):
+            Headers().add("Bad Name", "x")
+        with pytest.raises(HTTPError):
+            Headers().add("", "x")
+        with pytest.raises(HTTPError):
+            Headers().add("a:b", "x")
+
+    def test_add_rejects_value_with_newline(self):
+        with pytest.raises(HTTPError):
+            Headers().add("X", "a\r\nEvil: yes")
+
+    def test_non_string_value_coerced(self):
+        headers = Headers()
+        headers.add("Content-Length", 42)
+        assert headers.get("content-length") == "42"
+
+
+class TestSetRemove:
+    def test_set_replaces_all_values(self):
+        headers = Headers([("X", "1"), ("X", "2")])
+        headers.set("x", "3")
+        assert headers.get_all("X") == ["3"]
+
+    def test_remove_returns_count(self):
+        headers = Headers([("X", "1"), ("X", "2"), ("Y", "3")])
+        assert headers.remove("x") == 2
+        assert headers.remove("x") == 0
+        assert len(headers) == 1
+
+    def test_contains(self):
+        headers = Headers([("Host", "h")])
+        assert "host" in headers
+        assert "HOST" in headers
+        assert "absent" not in headers
+        assert 42 not in headers
+
+
+class TestIntParsing:
+    def test_get_int(self):
+        headers = Headers([("Content-Length", "17")])
+        assert headers.get_int("content-length") == 17
+
+    def test_get_int_default(self):
+        assert Headers().get_int("content-length") is None
+        assert Headers().get_int("content-length", 0) == 0
+
+    def test_get_int_malformed_raises(self):
+        headers = Headers([("Content-Length", "abc")])
+        with pytest.raises(HTTPError):
+            headers.get_int("content-length")
+
+
+class TestSerializeParse:
+    def test_serialize_round_trip(self):
+        headers = Headers([("Host", "example"), ("X-A", "1"), ("X-A", "2")])
+        wire = headers.serialize()
+        parsed = Headers.parse_lines(wire.split("\r\n"))
+        assert parsed == headers
+
+    def test_serialize_format(self):
+        headers = Headers([("Host", "h")])
+        assert headers.serialize() == "Host: h\r\n"
+
+    def test_parse_lines_handles_continuation(self):
+        parsed = Headers.parse_lines(["X-Long: part one", "\tpart two"])
+        assert parsed.get("x-long") == "part one part two"
+
+    def test_parse_lines_rejects_orphan_continuation(self):
+        with pytest.raises(HTTPError):
+            Headers.parse_lines(["  leading continuation"])
+
+    def test_parse_lines_rejects_missing_colon(self):
+        with pytest.raises(HTTPError):
+            Headers.parse_lines(["NoColonHere"])
+
+    def test_parse_lines_skips_blank_lines(self):
+        parsed = Headers.parse_lines(["A: 1", "", "B: 2"])
+        assert parsed.get("a") == "1"
+        assert parsed.get("b") == "2"
+
+
+class TestEquality:
+    def test_equality_ignores_name_case(self):
+        assert Headers([("HOST", "h")]) == Headers([("host", "h")])
+
+    def test_inequality_on_value(self):
+        assert Headers([("a", "1")]) != Headers([("a", "2")])
+
+    def test_copy_is_independent(self):
+        original = Headers([("a", "1")])
+        duplicate = original.copy()
+        duplicate.set("a", "2")
+        assert original.get("a") == "1"

@@ -1,0 +1,73 @@
+"""Unit tests for the piggybacked load-report extension headers."""
+
+import pytest
+
+from repro.errors import HTTPError
+from repro.http.headers import Headers
+from repro.http.piggyback import (
+    LOAD_HEADER,
+    LoadReport,
+    attach_load_reports,
+    extract_load_reports,
+    extract_sender,
+)
+
+
+class TestCodec:
+    def test_encode_decode_round_trip(self):
+        report = LoadReport(server="host:8080", metric=123.5, timestamp=17.25)
+        assert LoadReport.decode(report.encode()) == report
+
+    def test_decode_tolerates_spacing(self):
+        report = LoadReport.decode(" server=h:80 ;  metric=1.5 ; ts=2.0 ")
+        assert report == LoadReport("h:80", 1.5, 2.0)
+
+    @pytest.mark.parametrize("bad", [
+        "server=h:80; metric=1.5",          # missing ts
+        "server=h:80; metric=abc; ts=1",    # non-numeric
+        "garbage",
+        "metric=1; ts=2",                   # missing server
+    ])
+    def test_decode_rejects_malformed(self, bad):
+        with pytest.raises(HTTPError):
+            LoadReport.decode(bad)
+
+    def test_precision_survives(self):
+        report = LoadReport("h:80", 0.000123, 1234567.891)
+        decoded = LoadReport.decode(report.encode())
+        assert decoded.metric == pytest.approx(report.metric, rel=1e-3)
+        assert decoded.timestamp == pytest.approx(report.timestamp, abs=1e-5)
+
+
+class TestAttachExtract:
+    def test_attach_then_extract(self):
+        headers = Headers()
+        reports = [LoadReport("a:80", 1.0, 10.0), LoadReport("b:80", 2.0, 11.0)]
+        attach_load_reports(headers, "a:80", reports)
+        assert extract_sender(headers) == "a:80"
+        assert extract_load_reports(headers) == reports
+
+    def test_attach_replaces_previous(self):
+        headers = Headers()
+        attach_load_reports(headers, "a:80", [LoadReport("a:80", 1.0, 1.0)])
+        attach_load_reports(headers, "a:80", [LoadReport("a:80", 9.0, 2.0)])
+        reports = extract_load_reports(headers)
+        assert len(reports) == 1
+        assert reports[0].metric == 9.0
+
+    def test_plain_client_has_no_reports(self):
+        headers = Headers([("Host", "h")])
+        assert extract_load_reports(headers) == []
+        assert extract_sender(headers) == ""
+
+    def test_malformed_header_raises(self):
+        headers = Headers()
+        headers.add(LOAD_HEADER, "not a report")
+        with pytest.raises(HTTPError):
+            extract_load_reports(headers)
+
+    def test_empty_report_list(self):
+        headers = Headers()
+        attach_load_reports(headers, "a:80", [])
+        assert extract_load_reports(headers) == []
+        assert extract_sender(headers) == "a:80"

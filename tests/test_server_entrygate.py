@@ -1,0 +1,161 @@
+"""Tests for the entry gate (section 3.1's cookie mechanism)."""
+
+import pytest
+
+from repro.core.config import ServerConfig
+from repro.core.document import Location
+from repro.http.cookies import (
+    build_cookie_header,
+    build_set_cookie,
+    parse_cookie_header,
+    parse_set_cookie,
+)
+from repro.http.messages import Request
+from repro.server.engine import DCWSEngine, PURPOSE_HEADER
+from repro.server.entrygate import COOKIE_NAME, EntryGate
+from repro.server.filestore import MemoryStore
+
+HOME = Location("home", 8001)
+COOP = Location("coop", 8002)
+
+SITE = {
+    "/index.html": b'<html><a href="d.html">D</a></html>',
+    "/d.html": b"<html>internal</html>",
+}
+
+
+class TestCookieCodec:
+    def test_parse_cookie_header(self):
+        assert parse_cookie_header("a=1; b=2") == {"a": "1", "b": "2"}
+        assert parse_cookie_header("") == {}
+        assert parse_cookie_header("malformed; a=1") == {"a": "1"}
+
+    def test_build_round_trip(self):
+        cookies = {"z": "26", "a": "1"}
+        assert parse_cookie_header(build_cookie_header(cookies)) == cookies
+
+    def test_set_cookie_round_trip(self):
+        header = build_set_cookie("dcws_session", "tok", max_age=900)
+        assert parse_set_cookie(header) == ("dcws_session", "tok")
+        assert "Max-Age=900" in header
+
+    def test_parse_set_cookie_malformed(self):
+        assert parse_set_cookie("no-equals-sign") is None
+
+
+class TestEntryGate:
+    def test_issue_validate(self):
+        gate = EntryGate("secret", ttl=100.0)
+        token = gate.issue(now=50.0)
+        assert gate.validate(token, now=60.0)
+        assert gate.validate(token, now=149.0)
+
+    def test_expiry(self):
+        gate = EntryGate("secret", ttl=100.0)
+        token = gate.issue(now=0.0)
+        assert not gate.validate(token, now=101.0)
+
+    def test_forgery_rejected(self):
+        gate = EntryGate("secret", ttl=100.0)
+        assert not gate.validate("9999999999.deadbeefdeadbeefdead", 0.0)
+        assert not gate.validate("garbage", 0.0)
+        assert not gate.validate(None, 0.0)
+        assert not gate.validate("", 0.0)
+
+    def test_shared_secret_validates_across_servers(self):
+        # Stateless: any server with the secret validates any token.
+        issuer = EntryGate("cluster-secret", ttl=100.0)
+        verifier = EntryGate("cluster-secret", ttl=100.0)
+        assert verifier.validate(issuer.issue(0.0), 10.0)
+
+    def test_different_secret_rejects(self):
+        issuer = EntryGate("secret-a", ttl=100.0)
+        verifier = EntryGate("secret-b", ttl=100.0)
+        assert not verifier.validate(issuer.issue(0.0), 10.0)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            EntryGate("", ttl=10.0)
+        with pytest.raises(ValueError):
+            EntryGate("s", ttl=0.0)
+
+
+def gated_engine(location=HOME, site=None, peers=(COOP,)):
+    config = ServerConfig(entry_gate_secret="cluster-secret",
+                          entry_gate_ttl=900.0)
+    engine = DCWSEngine(location, config,
+                        MemoryStore(SITE if site is None else site),
+                        entry_points=["/index.html"] if site is None else [],
+                        peers=peers)
+    engine.initialize(0.0)
+    return engine
+
+
+def get(engine, path, cookie=None, headers=None, now=1.0):
+    request = Request("GET", path)
+    if cookie:
+        request.headers.set("Cookie", f"{COOKIE_NAME}={cookie}")
+    for name, value in (headers or {}).items():
+        request.headers.set(name, value)
+    return engine.handle_request(request, now)
+
+
+class TestGatedEngine:
+    def test_entry_point_open_and_issues_cookie(self):
+        engine = gated_engine()
+        reply = get(engine, "/index.html")
+        assert reply.response.status == 200
+        set_cookie = reply.response.headers.get("Set-Cookie")
+        assert set_cookie is not None
+        name, token = parse_set_cookie(set_cookie)
+        assert name == COOKIE_NAME
+        assert engine.entry_gate.validate(token, 2.0)
+
+    def test_deep_link_without_cookie_bounced(self):
+        engine = gated_engine()
+        reply = get(engine, "/d.html")
+        assert reply.response.status == 302
+        assert reply.response.headers.get("Location") == \
+            "http://home:8001/index.html"
+
+    def test_deep_link_with_cookie_served(self):
+        engine = gated_engine()
+        entry = get(engine, "/index.html")
+        __, token = parse_set_cookie(entry.response.headers.get("Set-Cookie"))
+        reply = get(engine, "/d.html", cookie=token)
+        assert reply.response.status == 200
+
+    def test_expired_cookie_bounced(self):
+        engine = gated_engine()
+        entry = get(engine, "/index.html", now=1.0)
+        __, token = parse_set_cookie(entry.response.headers.get("Set-Cookie"))
+        reply = get(engine, "/d.html", cookie=token, now=1e6)
+        assert reply.response.status == 302
+
+    def test_peer_transfers_bypass_gate(self):
+        engine = gated_engine()
+        engine.policy.force_migrate("/d.html", COOP, 0.5)
+        reply = get(engine, "/d.html", headers={
+            PURPOSE_HEADER: "migration-pull",
+            "X-DCWS-Sender": "coop:8002"})
+        assert reply.response.status == 200
+
+    def test_coop_gates_migrated_documents_too(self):
+        coop = gated_engine(location=COOP, site={}, peers=(HOME,))
+        # No cookie: bounced toward the home site.
+        result = get(coop, "/~migrate/home/8001/d.html")
+        assert result.response.status == 302
+        assert "home:8001" in result.response.headers.get("Location")
+        # Valid cluster token: the pull proceeds.
+        token = coop.entry_gate.issue(0.5)
+        result = get(coop, "/~migrate/home/8001/d.html", cookie=token)
+        from repro.server.engine import PullFromHome
+
+        assert isinstance(result, PullFromHome)
+
+    def test_gate_disabled_by_default(self):
+        engine = DCWSEngine(HOME, ServerConfig(), MemoryStore(SITE),
+                            entry_points=["/index.html"])
+        engine.initialize(0.0)
+        assert engine.entry_gate is None
+        assert get(engine, "/d.html").response.status == 200

@@ -1,0 +1,120 @@
+"""Unit tests for document stores (memory and disk)."""
+
+import pytest
+
+from repro.errors import DocumentNotFound
+from repro.server.filestore import (
+    DiskStore,
+    MemoryStore,
+    guess_content_type,
+)
+
+
+class TestContentType:
+    @pytest.mark.parametrize("name,expected", [
+        ("/a.html", "text/html"),
+        ("/a.HTM", "text/html"),
+        ("/img/x.gif", "image/gif"),
+        ("/x.jpg", "image/jpeg"),
+        ("/x.jpeg", "image/jpeg"),
+        ("/x.png", "image/png"),
+        ("/x.css", "text/css"),
+        ("/x.bin", "application/octet-stream"),
+        ("/noext", "application/octet-stream"),
+    ])
+    def test_guess(self, name, expected):
+        assert guess_content_type(name) == expected
+
+
+class TestMemoryStore:
+    def test_put_get(self):
+        store = MemoryStore()
+        store.put("/a.html", b"hi")
+        assert store.get("/a.html") == b"hi"
+        assert store.size("/a.html") == 2
+        assert "/a.html" in store
+
+    def test_get_missing_raises(self):
+        with pytest.raises(DocumentNotFound):
+            MemoryStore().get("/missing")
+        with pytest.raises(DocumentNotFound):
+            MemoryStore().size("/missing")
+
+    def test_put_requires_absolute_name(self):
+        with pytest.raises(DocumentNotFound):
+            MemoryStore().put("relative.html", b"x")
+
+    def test_delete_idempotent(self):
+        store = MemoryStore({"/a": b"x"})
+        store.delete("/a")
+        store.delete("/a")
+        assert "/a" not in store
+
+    def test_names_sorted(self):
+        store = MemoryStore({"/b": b"", "/a": b""})
+        assert store.names() == ["/a", "/b"]
+
+    def test_initial_dict_copied(self):
+        initial = {"/a": b"x"}
+        store = MemoryStore(initial)
+        initial["/b"] = b"y"
+        assert "/b" not in store
+
+    def test_items_and_total(self):
+        store = MemoryStore({"/a": b"xx", "/b": b"yyy"})
+        assert dict(store.items()) == {"/a": b"xx", "/b": b"yyy"}
+        assert store.total_bytes() == 5
+
+    def test_overwrite(self):
+        store = MemoryStore({"/a": b"old"})
+        store.put("/a", b"new")
+        assert store.get("/a") == b"new"
+
+
+class TestDiskStore:
+    def test_put_get_round_trip(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        store.put("/dir/a.html", b"content")
+        assert store.get("/dir/a.html") == b"content"
+        assert store.size("/dir/a.html") == 7
+
+    def test_names_recovers_paths(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        store.put("/a.html", b"1")
+        store.put("/x/y/b.gif", b"2")
+        assert store.names() == ["/a.html", "/x/y/b.gif"]
+
+    def test_migrate_marker_encoded(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        key = "/~migrate/home/80/a.html"
+        store.put(key, b"pulled")
+        assert store.get(key) == b"pulled"
+        assert key in store.names()
+        # The marker directory never contains a literal '~'.
+        assert not any("~" in p for p in _walk_names(tmp_path))
+
+    def test_traversal_rejected(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        with pytest.raises(DocumentNotFound):
+            store.put("/../escape.html", b"x")
+        with pytest.raises(DocumentNotFound):
+            store.get("/../../etc/passwd")
+
+    def test_get_missing_raises(self, tmp_path):
+        with pytest.raises(DocumentNotFound):
+            DiskStore(str(tmp_path)).get("/missing.html")
+
+    def test_delete(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        store.put("/a.html", b"x")
+        store.delete("/a.html")
+        store.delete("/a.html")
+        assert store.names() == []
+
+
+def _walk_names(root):
+    import os
+
+    for dirpath, dirnames, filenames in os.walk(str(root)):
+        for entry in dirnames + filenames:
+            yield entry

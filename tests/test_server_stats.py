@@ -1,0 +1,99 @@
+"""Unit tests for cluster sampling and time series."""
+
+import pytest
+
+from repro.core.config import ServerConfig
+from repro.core.document import Location
+from repro.http.messages import Request
+from repro.server.engine import DCWSEngine
+from repro.server.filestore import MemoryStore
+from repro.server.stats import (
+    ClusterSample,
+    TimeSeries,
+    growth_profile,
+    sample_cluster,
+)
+
+
+def engine_with_traffic(host, hits, now=1.0):
+    engine = DCWSEngine(Location(host, 80), ServerConfig(stats_interval=10.0),
+                        MemoryStore({"/a.html": b"<html>x</html>"}))
+    engine.initialize(0.0)
+    for index in range(hits):
+        engine.handle_request(Request("GET", "/a.html"),
+                              now + index * 0.001)
+    return engine
+
+
+class TestSampleCluster:
+    def test_aggregates_over_engines(self):
+        engines = [engine_with_traffic("a", 10), engine_with_traffic("b", 30)]
+        sample = sample_cluster(1.5, engines)
+        assert sample.cps == pytest.approx(4.0)  # 40 hits / 10 s window
+        assert sample.bps > 0
+        assert set(sample.per_server_cps) == {"a:80", "b:80"}
+
+    def test_imbalance_metric(self):
+        engines = [engine_with_traffic("a", 10), engine_with_traffic("b", 30)]
+        sample = sample_cluster(1.5, engines)
+        assert sample.imbalance == pytest.approx(1.5)  # 3 / mean(1,3)
+
+    def test_imbalance_of_empty_sample(self):
+        assert ClusterSample(0.0, 0.0, 0.0, 0.0).imbalance == 1.0
+
+    def test_idle_cluster(self):
+        engine = engine_with_traffic("a", 0)
+        sample = sample_cluster(100.0, [engine])
+        assert sample.cps == 0.0
+        assert sample.imbalance == 1.0
+
+
+class TestTimeSeries:
+    def make_series(self, values):
+        series = TimeSeries()
+        for index, value in enumerate(values):
+            series.add(ClusterSample(time=float(index), cps=value,
+                                     bps=value * 1000, drops_per_second=0.0))
+        return series
+
+    def test_peaks(self):
+        series = self.make_series([1.0, 5.0, 3.0])
+        assert series.peak_cps() == 5.0
+        assert series.peak_bps() == 5000.0
+
+    def test_means(self):
+        series = self.make_series([2.0, 4.0])
+        assert series.mean_cps() == 3.0
+        assert series.mean_bps() == 3000.0
+
+    def test_empty_series(self):
+        series = TimeSeries()
+        assert series.peak_cps() == 0.0
+        assert series.mean_cps() == 0.0
+        assert len(series.steady_state()) == 0
+
+    def test_steady_state_takes_tail(self):
+        series = self.make_series([1.0, 1.0, 10.0, 10.0])
+        steady = series.steady_state(fraction=0.5)
+        assert steady.mean_cps() == 10.0
+
+    def test_out_of_order_rejected(self):
+        series = self.make_series([1.0, 2.0])
+        with pytest.raises(ValueError):
+            series.add(ClusterSample(time=0.5, cps=0, bps=0,
+                                     drops_per_second=0))
+
+    def test_accessors(self):
+        series = self.make_series([1.0, 2.0])
+        assert series.times() == [0.0, 1.0]
+        assert series.cps_series() == [1.0, 2.0]
+        assert series.bps_series() == [1000.0, 2000.0]
+
+
+class TestGrowthProfile:
+    def test_first_differences(self):
+        assert growth_profile([1.0, 2.0, 4.0, 8.0]) == [1.0, 2.0, 4.0]
+
+    def test_short_series(self):
+        assert growth_profile([5.0]) == []
+        assert growth_profile([]) == []

@@ -1,0 +1,65 @@
+"""Tests for simulator extensions: think time and heterogeneous CPUs."""
+
+import pytest
+
+from repro.core.config import ServerConfig
+from repro.datasets.synthetic import build_synthetic_site
+from repro.errors import SimulationError
+from repro.sim.cluster import ClusterConfig, SimCluster
+
+
+def run_with(**kwargs):
+    site = build_synthetic_site(pages=20, images=6, fanout=3, seed=4)
+    defaults = dict(servers=2, clients=16, duration=25.0,
+                    sample_interval=5.0, seed=3,
+                    server_config=ServerConfig().scaled(0.2), prewarm=True)
+    defaults.update(kwargs)
+    return SimCluster(site, ClusterConfig(**defaults)).run()
+
+
+class TestThinkTime:
+    def test_think_time_reduces_demand(self):
+        busy = run_with(think_time=0.0)
+        relaxed = run_with(think_time=3.0)
+        assert relaxed.client_stats.requests < busy.client_stats.requests / 2
+
+    def test_think_time_still_navigates(self):
+        result = run_with(think_time=1.0)
+        assert result.client_stats.steps > 0
+        assert result.client_stats.sequences > 0
+
+    def test_deterministic_with_think_time(self):
+        first = run_with(think_time=1.0)
+        second = run_with(think_time=1.0)
+        assert first.client_stats.requests == second.client_stats.requests
+
+
+class TestHeterogeneousCpus:
+    def test_slow_servers_serve_less_under_static_split(self):
+        # All-slow vs all-fast sanity: scaling every CPU by 2 halves
+        # deliverable throughput at saturation.
+        fast = run_with(clients=64)
+        slow = run_with(clients=64, cpu_scales=(2.0, 2.0))
+        assert slow.steady_cps() < fast.steady_cps() * 0.75
+
+    def test_mixed_speeds_accepted(self):
+        result = run_with(cpu_scales=(1.0, 2.0))
+        assert result.client_stats.requests > 0
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(SimulationError):
+            run_with(cpu_scales=(1.0, 2.0, 3.0))
+
+    def test_drop_pressure_metric_advertises_overload(self):
+        from repro.core.metrics import LoadMetricKind, ServerMetrics
+
+        metrics = ServerMetrics(window=10.0)
+        for t in range(10):
+            metrics.record_connection(float(t), 100)
+            metrics.record_drop(float(t))
+        plain = metrics.load_metric(9.5, LoadMetricKind.CPS)
+        pressured = metrics.load_metric(9.5, LoadMetricKind.CPS,
+                                        drop_pressure_weight=25.0)
+        assert pressured > plain
+        # Drops average over a 4x window: 10 drops / 40 s = 0.25/s.
+        assert pressured == pytest.approx(plain + 25.0 * 0.25)

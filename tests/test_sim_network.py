@@ -1,0 +1,82 @@
+"""Unit tests for serializers, bandwidth links, and the cost model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.network import BandwidthLink, CostModel, PAPER_COSTS, Serializer
+
+
+class TestSerializer:
+    def test_idle_resource_starts_immediately(self):
+        resource = Serializer("cpu")
+        start, end = resource.reserve(5.0, 2.0)
+        assert (start, end) == (5.0, 7.0)
+
+    def test_busy_resource_queues(self):
+        resource = Serializer("cpu")
+        resource.reserve(0.0, 10.0)
+        start, end = resource.reserve(5.0, 1.0)
+        assert (start, end) == (10.0, 11.0)
+
+    def test_later_arrival_after_idle(self):
+        resource = Serializer("cpu")
+        resource.reserve(0.0, 1.0)
+        start, __ = resource.reserve(50.0, 1.0)
+        assert start == 50.0
+
+    def test_zero_duration_allowed(self):
+        resource = Serializer("cpu")
+        start, end = resource.reserve(1.0, 0.0)
+        assert start == end == 1.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            Serializer("cpu").reserve(0.0, -1.0)
+
+    def test_utilization(self):
+        resource = Serializer("cpu")
+        resource.reserve(0.0, 3.0)
+        assert resource.utilization(10.0) == pytest.approx(0.3)
+        assert resource.utilization(0.0) == 0.0
+
+    def test_utilization_capped_at_one(self):
+        resource = Serializer("cpu")
+        resource.reserve(0.0, 100.0)
+        assert resource.utilization(10.0) == 1.0
+
+
+class TestBandwidthLink:
+    def test_transfer_time(self):
+        link = BandwidthLink(100e6)  # 100 Mbps
+        assert link.transfer_time(12_500_000) == pytest.approx(1.0)
+
+    def test_reserve_bytes_serializes(self):
+        link = BandwidthLink(8e6)  # 1 MB/s
+        __, first_end = link.reserve_bytes(0.0, 1_000_000)
+        start, __ = link.reserve_bytes(0.0, 1_000_000)
+        assert first_end == pytest.approx(1.0)
+        assert start == pytest.approx(1.0)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(SimulationError):
+            BandwidthLink(0.0)
+
+
+class TestCostModel:
+    def test_paper_constants(self):
+        assert PAPER_COSTS.reconstruct_cpu == pytest.approx(0.020)
+        assert PAPER_COSTS.parse_cpu == pytest.approx(0.003)
+        assert PAPER_COSTS.node_bandwidth == pytest.approx(100e6)
+        assert PAPER_COSTS.switch_bandwidth == pytest.approx(2.4e9)
+
+    def test_cpu_cost_ordering(self):
+        costs = CostModel()
+        assert costs.cpu_cost(error=True) < costs.cpu_cost(redirected=True) \
+            < costs.cpu_cost()
+        assert costs.cpu_cost(reconstructed=True) == \
+            pytest.approx(costs.request_cpu + costs.reconstruct_cpu)
+
+    def test_redirect_cheaper_than_serving(self):
+        # Section 4.4: redirections cause "a fairly low amount of load".
+        costs = CostModel()
+        assert costs.cpu_cost(redirected=True) < costs.cpu_cost() / 2
