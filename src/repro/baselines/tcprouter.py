@@ -87,7 +87,7 @@ class TCPRouterCluster:
                 self._sampler.count(None)
                 on_response(None)
                 return
-            nbytes = len(response.body) + costs.connection_overhead_bytes
+            nbytes = len(response.body) + costs.effective_connection_overhead()
             __, nic_end = self.router_nic.reserve_bytes(self.loop.now, nbytes)
             arrival = nic_end + costs.link_latency
             self.loop.schedule(arrival, lambda: _deliver(response))

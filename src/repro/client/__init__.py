@@ -13,6 +13,7 @@ backoff pieces.
 """
 
 from repro.client.cache import ClientCache
+from repro.client.pool import ConnectionPool
 from repro.client.realclient import http_fetch
 from repro.client.walker import (
     ExponentialBackoff,
@@ -24,6 +25,7 @@ from repro.client.walker import (
 
 __all__ = [
     "ClientCache",
+    "ConnectionPool",
     "ExponentialBackoff",
     "FetchOutcome",
     "RandomWalker",

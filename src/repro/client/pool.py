@@ -1,0 +1,181 @@
+"""Pooled persistent server-to-server HTTP channels.
+
+The 1998 prototype paid full TCP setup/teardown for every inter-server
+transfer (lazy pulls, validations, pings).  :class:`ConnectionPool` keeps
+one or more keep-alive channels per peer instead: a fetch takes an idle
+channel (or opens one), runs a framed request/response exchange on it,
+and returns it for the next transfer to the same peer.
+
+Because every pooled exchange is a server-to-server transfer, the
+piggybacked ``X-DCWS-Load`` headers ride each reuse for free — channel
+reuse directly raises the global-load-table refresh rate (paper
+section 3.3) on top of saving the connection overhead.
+
+Health is observed, not probed: a channel that raises ``OSError`` or
+misframes a response is evicted on the spot; if it had been idle in the
+pool (the peer may simply have timed it out), the exchange is retried
+once on a fresh connection.  All requests DCWS servers exchange are
+idempotent (GET/HEAD), so the single retry is safe.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.document import Location
+from repro.errors import HTTPError
+from repro.http.messages import Request, Response, response_allows_keep_alive
+from repro.client.realclient import read_framed_response
+
+
+class _Channel:
+    """One persistent socket plus its read-ahead buffer."""
+
+    __slots__ = ("sock", "buffer", "exchanges")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.buffer = bytearray()
+        self.exchanges = 0
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class ConnectionPool:
+    """Bounded per-peer pool of persistent HTTP channels.
+
+    Thread-safe: channels are checked out under a lock and the blocking
+    exchange runs outside it, so concurrent workers fetch from the same
+    peer over distinct channels.
+
+    Counters (``opens``, ``reuses``, ``evictions``, ``requests``) let
+    tests and the admin endpoints assert channel reuse: a healthy pool
+    shows ``opens`` far below ``requests``.
+    """
+
+    def __init__(self, *, max_per_peer: int = 4,
+                 timeout: float = 10.0) -> None:
+        if max_per_peer < 1:
+            raise ValueError(f"max_per_peer must be >= 1: {max_per_peer}")
+        self.max_per_peer = max_per_peer
+        self.timeout = timeout
+        self._idle: Dict[str, List[_Channel]] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        self.opens = 0
+        self.reuses = 0
+        self.evictions = 0
+        self.requests = 0
+
+    # ------------------------------------------------------------------
+    # The one public operation
+    # ------------------------------------------------------------------
+
+    def fetch(self, peer: Location, request: Request, *,
+              timeout: Optional[float] = None) -> Response:
+        """Send *request* to *peer* over a pooled channel; return the
+        response.  Raises ``OSError``/``HTTPError`` on peer failure."""
+        if timeout is None:
+            timeout = self.timeout
+        request.headers.set("Connection", "keep-alive")
+        key = f"{peer.host}:{peer.port}"
+        channel = self._take(key)
+        reused = channel is not None
+        if channel is None:
+            channel = self._open(peer, timeout)
+        try:
+            response, framed = self._exchange(channel, request, timeout)
+        except (OSError, HTTPError):
+            self._evict(channel)
+            if not reused:
+                raise
+            # An idle channel the peer had silently closed: retry once on
+            # a fresh connection before declaring the peer unhealthy.
+            channel = self._open(peer, timeout)
+            try:
+                response, framed = self._exchange(channel, request, timeout)
+            except (OSError, HTTPError):
+                self._evict(channel)
+                raise
+        if framed and response_allows_keep_alive(response) \
+                and not channel.buffer:
+            self._give_back(key, channel)
+        else:
+            channel.close()
+        return response
+
+    # ------------------------------------------------------------------
+
+    def _exchange(self, channel: _Channel, request: Request,
+                  timeout: float) -> Tuple[Response, bool]:
+        channel.sock.settimeout(timeout)
+        channel.sock.sendall(request.serialize())
+        response, framed = read_framed_response(
+            channel.sock, channel.buffer,
+            head_request=request.method == "HEAD")
+        channel.exchanges += 1
+        return response, framed
+
+    def _take(self, key: str) -> Optional[_Channel]:
+        with self._lock:
+            self.requests += 1
+            idle = self._idle.get(key)
+            if not idle:
+                return None
+            self.reuses += 1
+            return idle.pop()  # LIFO: the most recently warm channel
+
+    def _open(self, peer: Location, timeout: float) -> _Channel:
+        sock = socket.create_connection((peer.host, peer.port),
+                                        timeout=timeout)
+        with self._lock:
+            self.opens += 1
+        return _Channel(sock)
+
+    def _give_back(self, key: str, channel: _Channel) -> None:
+        with self._lock:
+            if not self._closed:
+                idle = self._idle.setdefault(key, [])
+                if len(idle) < self.max_per_peer:
+                    idle.append(channel)
+                    return
+        channel.close()
+
+    def _evict(self, channel: _Channel) -> None:
+        with self._lock:
+            self.evictions += 1
+        channel.close()
+
+    # ------------------------------------------------------------------
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every idle channel and refuse new returns."""
+        with self._lock:
+            self._closed = True
+            channels = [c for idle in self._idle.values() for c in idle]
+            self._idle.clear()
+        for channel in channels:
+            channel.close()
+
+    def idle_count(self) -> int:
+        with self._lock:
+            return sum(len(idle) for idle in self._idle.values())
+
+    def __enter__(self) -> "ConnectionPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"ConnectionPool(requests={self.requests}, "
+                f"opens={self.opens}, reuses={self.reuses}, "
+                f"evictions={self.evictions}, idle={self.idle_count()})")

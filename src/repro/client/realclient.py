@@ -2,14 +2,16 @@
 
 Used by the threaded DCWS server for server-to-server transfers (lazy
 migration pulls, validations, pings) and by the real-transport walker.
-One request per connection, HTTP/1.0 style, exactly like the 1998
-prototype's inter-server sessions.
+By default each call opens one connection, HTTP/1.0 style, exactly like
+the 1998 prototype's inter-server sessions; pass a
+:class:`repro.client.pool.ConnectionPool` to reuse persistent per-peer
+channels instead.
 """
 
 from __future__ import annotations
 
 import socket
-from typing import List
+from typing import List, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.document import Location
 from repro.errors import HTTPError
@@ -19,73 +21,93 @@ from repro.http.messages import Request, Response, parse_response
 from repro.http.urls import URL
 from repro.client.walker import FetchOutcome
 
+if TYPE_CHECKING:
+    from repro.client.pool import ConnectionPool
+
 _RECV_CHUNK = 65536
 _MAX_RESPONSE = 64 * 1024 * 1024
 
+# Responses that never carry a body, regardless of Content-Length (which,
+# when present, describes the entity the body *would* have been).
+_BODYLESS_STATUSES = (204, 304)
+
 
 def http_fetch(peer: Location, request: Request, *,
-               timeout: float = 10.0) -> Response:
+               timeout: float = 10.0,
+               pool: "Optional[ConnectionPool]" = None) -> Response:
     """Send *request* to *peer* and read the complete response.
 
-    Raises :class:`repro.errors.HTTPError` (or ``OSError``) on transport
-    or framing problems; callers treat those as peer failure.
+    With a *pool*, the exchange rides a persistent per-peer channel
+    (opened on demand, reused across calls).  Raises
+    :class:`repro.errors.HTTPError` (or ``OSError``) on transport or
+    framing problems; callers treat those as peer failure.
     """
+    if pool is not None:
+        return pool.fetch(peer, request, timeout=timeout)
     with socket.create_connection((peer.host, peer.port), timeout=timeout) as sock:
         sock.sendall(request.serialize())
-        data = _read_response_bytes(sock)
-    return parse_response(data)
+        response, __ = read_framed_response(
+            sock, bytearray(), head_request=request.method == "HEAD")
+    return response
 
 
-def _parse_content_length(head: str):
-    """Content-Length from a raw response head, or None when absent."""
-    for line in head.split("\r\n")[1:]:
-        name, sep, value = line.partition(":")
-        if sep and name.strip().lower() == "content-length":
-            try:
-                return int(value.strip())
-            except ValueError:
-                raise HTTPError(f"bad Content-Length: {value!r}") from None
-    return None
+def read_framed_response(sock: socket.socket, buffer: bytearray, *,
+                         head_request: bool = False) -> Tuple[Response, bool]:
+    """Read one complete response off *sock*, honouring framing.
 
+    *buffer* holds bytes already read from the connection (a persistent
+    channel's leftover); on return it holds any bytes past this response.
+    Returns ``(response, framed)`` where *framed* is True when the body was
+    delimited by Content-Length (or was necessarily empty) — i.e. the
+    connection is still usable — and False when the body was read to EOF
+    (HTTP/1.0 close-delimited).
 
-def _read_response_bytes(sock: socket.socket) -> bytes:
-    """Read head + Content-Length body (or until EOF without one)."""
-    buffer = bytearray()
-    head_end = -1
+    Raises :class:`HTTPError` when the peer closes before the head or the
+    promised body completes, instead of silently returning a truncation.
+    """
+    head_end = buffer.find(b"\r\n\r\n")
     while head_end < 0:
-        chunk = sock.recv(_RECV_CHUNK)
-        if not chunk:
-            break
-        buffer.extend(chunk)
-        if len(buffer) > _MAX_RESPONSE:
-            raise HTTPError("response exceeds size limit")
+        if not _recv_into(sock, buffer):
+            raise HTTPError("connection closed before response head completed")
         head_end = buffer.find(b"\r\n\r\n")
-    if head_end < 0:
-        raise HTTPError("connection closed before response head completed")
-    head = bytes(buffer[:head_end]).decode("latin-1", "replace")
-    content_length = _parse_content_length(head)
-    if content_length is None:
+    response = parse_response(bytes(buffer[:head_end + 4]))
+    expected = None
+    if head_request or response.status in _BODYLESS_STATUSES:
+        expected = 0
+    else:
+        expected = response.headers.get_int("content-length")
+    if expected is None:
         # No Content-Length: read to EOF (HTTP/1.0 close-delimited).
-        while True:
-            chunk = sock.recv(_RECV_CHUNK)
-            if not chunk:
-                return bytes(buffer)
-            buffer.extend(chunk)
-            if len(buffer) > _MAX_RESPONSE:
-                raise HTTPError("response exceeds size limit")
-    needed = head_end + 4 + content_length
+        while _recv_into(sock, buffer):
+            pass
+        response.body = bytes(buffer[head_end + 4:])
+        del buffer[:]
+        return response, False
+    needed = head_end + 4 + expected
+    if needed > _MAX_RESPONSE:
+        raise HTTPError("response exceeds size limit")
     while len(buffer) < needed:
-        chunk = sock.recv(_RECV_CHUNK)
-        if not chunk:
-            break
-        buffer.extend(chunk)
-        if len(buffer) > _MAX_RESPONSE:
-            raise HTTPError("response exceeds size limit")
-    return bytes(buffer[:needed])
+        if not _recv_into(sock, buffer):
+            raise HTTPError("connection closed before response body completed")
+    response.body = bytes(buffer[head_end + 4:needed])
+    del buffer[:needed]
+    return response, True
+
+
+def _recv_into(sock: socket.socket, buffer: bytearray) -> bool:
+    """One recv; False on EOF.  Enforces the response size limit."""
+    chunk = sock.recv(_RECV_CHUNK)
+    if not chunk:
+        return False
+    buffer.extend(chunk)
+    if len(buffer) > _MAX_RESPONSE:
+        raise HTTPError("response exceeds size limit")
+    return True
 
 
 def fetch_url(url: URL, *, timeout: float = 10.0,
-              max_redirects: int = 5) -> FetchOutcome:
+              max_redirects: int = 5,
+              pool: "Optional[ConnectionPool]" = None) -> FetchOutcome:
     """Fetch *url* as a browser would: follow redirects, parse HTML links.
 
     This is the ``fetch`` callable handed to
@@ -99,7 +121,7 @@ def fetch_url(url: URL, *, timeout: float = 10.0,
         request.headers.set("Host", current.authority)
         try:
             response = http_fetch(Location(current.host, current.port),
-                                  request, timeout=timeout)
+                                  request, timeout=timeout, pool=pool)
         except (OSError, HTTPError):
             return FetchOutcome(status=599, redirected=redirected)
         if response.status in (301, 302):

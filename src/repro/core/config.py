@@ -90,6 +90,15 @@ class ServerConfig:
     # shared cluster-wide so co-ops validate tokens statelessly.
     entry_gate_secret: str = ""
     entry_gate_ttl: float = 900.0
+    # Persistent connections: workers serve multiple requests per
+    # connection (Connection: keep-alive / HTTP/1.1 semantics) and
+    # server-to-server channels are pooled.  ``keep_alive_timeout`` is how
+    # long a worker holds an idle connection between requests;
+    # ``keep_alive_max_requests`` bounds requests per connection so one
+    # client cannot pin a worker forever.
+    keep_alive: bool = True
+    keep_alive_timeout: float = 5.0
+    keep_alive_max_requests: int = 100
 
     def __post_init__(self) -> None:
         positive = (
@@ -98,6 +107,7 @@ class ServerConfig:
             "validation_interval", "home_remigration_interval",
             "coop_migration_spacing", "max_migrations_per_interval",
             "ping_failure_limit", "max_replicas",
+            "keep_alive_timeout", "keep_alive_max_requests",
         )
         for name in positive:
             if getattr(self, name) <= 0:

@@ -7,7 +7,14 @@ piggyback global load information on ordinary transfers (paper section 3.3).
 """
 
 from repro.http.headers import Headers
-from repro.http.messages import Request, Response, parse_request, parse_response
+from repro.http.messages import (
+    Request,
+    Response,
+    parse_request,
+    parse_response,
+    request_wants_keep_alive,
+    response_allows_keep_alive,
+)
 from repro.http.piggyback import LoadReport, attach_load_reports, extract_load_reports
 from repro.http.status import (
     STATUS_REASONS,
@@ -39,5 +46,7 @@ __all__ = [
     "parse_response",
     "parse_url",
     "reason_phrase",
+    "request_wants_keep_alive",
+    "response_allows_keep_alive",
     "split_path",
 ]

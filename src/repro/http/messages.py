@@ -88,6 +88,30 @@ class Response:
         return head.encode("latin-1") + self.body
 
 
+def wants_keep_alive(version: str, headers: Headers) -> bool:
+    """Persistent-connection semantics for one message.
+
+    HTTP/1.1 defaults to persistent unless ``Connection: close``;
+    HTTP/1.0 defaults to one-shot unless ``Connection: keep-alive``
+    (the de-facto extension the 1998 prototype's era browsers spoke).
+    """
+    if headers.has_token("Connection", "close"):
+        return False
+    if headers.has_token("Connection", "keep-alive"):
+        return True
+    return version == "HTTP/1.1"
+
+
+def request_wants_keep_alive(request: Request) -> bool:
+    """Does *request* ask for the connection to stay open afterwards?"""
+    return wants_keep_alive(request.version, request.headers)
+
+
+def response_allows_keep_alive(response: Response) -> bool:
+    """Does *response* permit reusing the connection afterwards?"""
+    return wants_keep_alive(response.version, response.headers)
+
+
 def _split_head(data: bytes) -> Tuple[str, bytes]:
     separator = data.find(b"\r\n\r\n")
     if separator < 0:

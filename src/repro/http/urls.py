@@ -34,6 +34,11 @@ class URL:
     def __post_init__(self) -> None:
         if not self.host:
             raise URLError("URL host must be non-empty")
+        # Hostnames are case-insensitive (RFC 3986 section 3.2.2); fold at
+        # construction time so same_server and dict keys never misroute on
+        # mixed-case configs (HOST.example:80 == host.example:80).
+        if not self.host.islower():
+            object.__setattr__(self, "host", self.host.lower())
         if not (0 < self.port < 65536):
             raise URLError(f"URL port out of range: {self.port}")
         if not self.path.startswith("/"):
@@ -159,6 +164,10 @@ def join_url(base: URL, reference: str) -> URL:
         return URL(base.host, base.port, normalize_path(path), query)
     # Relative reference: resolve against the base path's directory.
     ref_path, query = _split_query(reference)
+    if ref_path == "" and query is not None:
+        # Query-only reference ("?page=2"): same document, new query string
+        # (RFC 3986 section 5.3).
+        return URL(base.host, base.port, base.path, query)
     if ref_path.startswith("#") or ref_path == "":
         # Fragment-only (or empty) references point back at the base document.
         return URL(base.host, base.port, base.path, base.query)

@@ -59,7 +59,13 @@ from repro.html.parser import parse_html
 from repro.html.rewriter import rewrite_links
 from repro.html.serializer import serialize_html
 from repro.http.headers import Headers
-from repro.http.messages import Request, Response, error_response, redirect_response
+from repro.http.messages import (
+    Request,
+    Response,
+    error_response,
+    redirect_response,
+    request_wants_keep_alive,
+)
 from repro.http.piggyback import (
     attach_load_reports,
     extract_load_reports,
@@ -762,6 +768,24 @@ class DCWSEngine:
         if extract_sender(request.headers):
             # Peer transfer: piggyback our current table on the response.
             self._attach_piggyback(response.headers)
+        # Explicit framing and connection semantics so keep-alive peers and
+        # pooled channels can delimit the body without waiting for EOF.
+        # (HEAD/304 Content-Length refers to the omitted body, per RFC.)
+        if "content-length" not in response.headers:
+            response.headers.set("Content-Length", str(len(response.body)))
+        if request.method == "HEAD":
+            # Every path, including errors and redirects: a HEAD response
+            # must not put body bytes on the wire, or a keep-alive peer
+            # reading by the head alone finds the channel dirty.
+            response.body = b""
+        if self.config.keep_alive and request_wants_keep_alive(request):
+            response.headers.set("Connection", "keep-alive")
+            response.headers.set(
+                "Keep-Alive",
+                f"timeout={self.config.keep_alive_timeout:g}, "
+                f"max={self.config.keep_alive_max_requests}")
+        else:
+            response.headers.set("Connection", "close")
         body_bytes = len(response.body)
         self.metrics.record_connection(now, body_bytes + RESPONSE_HEAD_OVERHEAD)
         self.stats.bytes_sent += body_bytes

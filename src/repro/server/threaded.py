@@ -9,7 +9,17 @@ and Global Load Table through one in-memory :class:`DCWSEngine`.
 
 Request-drop behaviour follows section 5.2: when the bounded connection
 queue is full, the connection is "dropped gracefully with a 503 error
-response" by the front-end itself.
+response" by the front-end itself.  The drop is tallied in a plain
+counter owned by the front-end thread and drained into the engine metrics
+by the periodic thread, so the accept loop never waits on the engine lock
+— exactly the overload that causes drops must not stall accepting.
+
+Connections are persistent: a worker serves multiple requests per
+connection (``Connection: keep-alive`` / HTTP/1.1 semantics, pipelining
+included) under an idle timeout and a per-connection request cap, and
+server-to-server transfers (lazy pulls, validations, pings) ride pooled
+keep-alive channels (:class:`repro.client.pool.ConnectionPool`) instead
+of opening one TCP connection per transfer.
 
 The engine is guarded by one lock; blocking network I/O (reading requests,
 sending responses, server-to-server transfers) happens outside the lock, so
@@ -24,9 +34,17 @@ import threading
 import time
 from typing import List, Optional
 
+from repro.client.pool import ConnectionPool
 from repro.client.realclient import http_fetch
 from repro.errors import HTTPError, ReproError
-from repro.http.messages import Request, Response, error_response, parse_request
+from repro.http.messages import (
+    Request,
+    Response,
+    error_response,
+    parse_request,
+    request_wants_keep_alive,
+    response_allows_keep_alive,
+)
 from repro.http.status import StatusCode
 from repro.server.engine import DCWSEngine, EngineReply, PullFromHome
 
@@ -60,6 +78,16 @@ class ThreadedDCWSServer:
             maxsize=engine.config.socket_queue_length)
         self._stop = threading.Event()
         self._started = threading.Event()
+        # Persistent channels for server-to-server transfers.
+        self.pool = ConnectionPool(timeout=request_timeout)
+        # Accepted-connection counter (front-end thread only); tests use it
+        # to prove keep-alive (requests served >> connections accepted).
+        self.connections_accepted = 0
+        # Drop accounting without the engine lock: the front-end is the
+        # sole writer of _drops_recorded, the periodic thread the sole
+        # writer of _drops_drained, so neither needs synchronization.
+        self._drops_recorded = 0
+        self._drops_drained = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -117,6 +145,7 @@ class ThreadedDCWSServer:
                 pass
         for thread in self._threads:
             thread.join(timeout=5.0)
+        self.pool.close()
         self._listener = None
         self._threads = []
 
@@ -140,6 +169,7 @@ class ThreadedDCWSServer:
                 continue
             except OSError:
                 return
+            self.connections_accepted += 1
             connection.settimeout(self.request_timeout)
             try:
                 self._connections.put_nowait(connection)
@@ -147,12 +177,18 @@ class ThreadedDCWSServer:
                 self._drop_connection(connection)
 
     def _drop_connection(self, connection: socket.socket) -> None:
-        """Graceful 503 drop (section 5.2) when the queue overflows."""
-        with self._lock:
-            self.engine.metrics.record_drop(time.monotonic())
+        """Graceful 503 drop (section 5.2) when the queue overflows.
+
+        Runs on the front-end thread, which must keep accepting while the
+        workers are saturated: the drop is only tallied here and reaches
+        the engine metrics when the periodic thread drains the counter.
+        """
+        self._drops_recorded += 1
+        response = error_response(StatusCode.SERVICE_UNAVAILABLE,
+                                  "server overloaded")
+        response.headers.set("Connection", "close")
         try:
-            connection.sendall(error_response(
-                StatusCode.SERVICE_UNAVAILABLE, "server overloaded").serialize())
+            connection.sendall(response.serialize())
         except OSError:
             pass
         finally:
@@ -177,13 +213,46 @@ class ThreadedDCWSServer:
                 _close_quietly(connection)
 
     def _serve_connection(self, connection: socket.socket) -> None:
-        try:
-            request = _read_request(connection)
-        except (HTTPError, OSError):
-            _send_quietly(connection, error_response(StatusCode.BAD_REQUEST))
-            return
-        response = self._dispatch(request)
-        _send_quietly(connection, response)
+        """Serve requests off one connection until it closes.
+
+        Honours persistent-connection semantics: after each response the
+        worker keeps the connection (an idle timeout replacing the request
+        timeout) and serves the next request — including ones already
+        pipelined into the reader's buffer — until the peer asks to close,
+        goes quiet, or the per-connection request cap is reached.
+        """
+        config = self.engine.config
+        reader = _RequestReader(connection)
+        served = 0
+        while not self._stop.is_set():
+            if served and not reader.buffered:
+                connection.settimeout(config.keep_alive_timeout)
+            try:
+                request = reader.read_request()
+            except socket.timeout:
+                return  # idle keep-alive connection (or stalled peer)
+            except (HTTPError, OSError):
+                _send_quietly(connection, error_response(
+                    StatusCode.BAD_REQUEST))
+                return
+            if request is None:
+                return  # peer closed cleanly at a request boundary
+            if served:
+                connection.settimeout(self.request_timeout)
+            served += 1
+            response = self._dispatch(request)
+            keep = (config.keep_alive
+                    and served < config.keep_alive_max_requests
+                    and request_wants_keep_alive(request)
+                    and response_allows_keep_alive(response))
+            if not keep:
+                response.headers.set("Connection", "close")
+            try:
+                connection.sendall(response.serialize())
+            except OSError:
+                return
+            if not keep:
+                return
 
     def _dispatch(self, request: Request) -> Response:
         now = time.monotonic()
@@ -197,7 +266,8 @@ class ThreadedDCWSServer:
         """Lazy migration: blocking fetch from home, outside the lock."""
         try:
             upstream = http_fetch(pull.home, pull.request,
-                                  timeout=self.request_timeout)
+                                  timeout=self.request_timeout,
+                                  pool=self.pool)
         except (OSError, HTTPError):
             upstream = None
         with self._lock:
@@ -211,14 +281,19 @@ class ThreadedDCWSServer:
     def _periodic_loop(self) -> None:
         while not self._stop.is_set():
             now = time.monotonic()
+            pending_drops = self._drops_recorded - self._drops_drained
             with self._lock:
+                for __ in range(pending_drops):
+                    self.engine.metrics.record_drop(now)
                 actions = self.engine.tick(now)
+            self._drops_drained += pending_drops
             for action in actions:
                 if self._stop.is_set():
                     return
                 try:
                     response = http_fetch(action.peer, action.request,
-                                          timeout=self.request_timeout)
+                                          timeout=self.request_timeout,
+                                          pool=self.pool)
                 except (OSError, HTTPError):
                     response = None
                 with self._lock:
@@ -240,28 +315,63 @@ class ThreadedDCWSServer:
         return self._started.wait(timeout)
 
 
+class _RequestReader:
+    """Incremental request reader for one persistent connection.
+
+    Keeps leftover bytes between requests, so pipelined requests that
+    arrive in a single ``recv`` are each served in turn.  The head is
+    parsed exactly once; the body is then read to its exact
+    Content-Length.  A peer that closes mid-request raises
+    :class:`HTTPError` — a truncated body is never silently accepted.
+    """
+
+    __slots__ = ("_connection", "_buffer")
+
+    def __init__(self, connection: socket.socket) -> None:
+        self._connection = connection
+        self._buffer = bytearray()
+
+    @property
+    def buffered(self) -> bool:
+        """Bytes of a further (pipelined) request are already waiting."""
+        return bool(self._buffer)
+
+    def read_request(self) -> Optional[Request]:
+        """Read one complete request; ``None`` on clean EOF between
+        requests."""
+        head_end = self._buffer.find(b"\r\n\r\n")
+        while head_end < 0:
+            chunk = self._connection.recv(_RECV_CHUNK)
+            if not chunk:
+                if not self._buffer:
+                    return None
+                raise HTTPError("connection closed before request completed")
+            self._buffer.extend(chunk)
+            if len(self._buffer) > _MAX_REQUEST:
+                raise HTTPError("request exceeds size limit")
+            head_end = self._buffer.find(b"\r\n\r\n")
+        request = parse_request(bytes(self._buffer[:head_end + 4]))
+        expected = request.headers.get_int("content-length", 0) or 0
+        needed = head_end + 4 + expected
+        if needed > _MAX_REQUEST:
+            raise HTTPError("request exceeds size limit")
+        while len(self._buffer) < needed:
+            chunk = self._connection.recv(_RECV_CHUNK)
+            if not chunk:
+                raise HTTPError("connection closed before request body "
+                                "completed")
+            self._buffer.extend(chunk)
+        request.body = bytes(self._buffer[head_end + 4:needed])
+        del self._buffer[:needed]
+        return request
+
+
 def _read_request(connection: socket.socket) -> Request:
     """Read one complete request off *connection*."""
-    buffer = bytearray()
-    head_end = -1
-    while head_end < 0:
-        chunk = connection.recv(_RECV_CHUNK)
-        if not chunk:
-            raise HTTPError("connection closed before request completed")
-        buffer.extend(chunk)
-        if len(buffer) > _MAX_REQUEST:
-            raise HTTPError("request exceeds size limit")
-        head_end = buffer.find(b"\r\n\r\n")
-    request = parse_request(bytes(buffer))
-    expected = request.headers.get_int("content-length", 0) or 0
-    body_have = len(buffer) - head_end - 4
-    while body_have < expected:
-        chunk = connection.recv(_RECV_CHUNK)
-        if not chunk:
-            break
-        buffer.extend(chunk)
-        body_have += len(chunk)
-    return parse_request(bytes(buffer))
+    request = _RequestReader(connection).read_request()
+    if request is None:
+        raise HTTPError("connection closed before request completed")
+    return request
 
 
 def _send_quietly(connection: socket.socket, response: Response) -> None:

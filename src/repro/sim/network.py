@@ -104,6 +104,12 @@ class CostModel:
     link_latency: float = 0.0005     # one-way propagation + stack, seconds
     connection_overhead_bytes: int = 400   # TCP setup/teardown packets
     request_bytes: int = 240         # typical GET head on the wire
+    # Persistent connections: when True, requests reuse established
+    # channels (the real server's keep-alive front-end and pooled
+    # server-to-server channels), so each request pays only the per-
+    # exchange framing/ACK overhead instead of full setup/teardown.
+    keep_alive: bool = False
+    keepalive_overhead_bytes: int = 40     # ACKs + header growth per reuse
 
     # Client-side.
     client_overhead: float = 0.022   # per-request client work (main thread)
@@ -113,6 +119,12 @@ class CostModel:
     # Benchmarks compress these together with the Table 1 intervals.
     backoff_base: float = 1.0
     backoff_ceiling: float = 64.0
+
+    def effective_connection_overhead(self) -> int:
+        """Per-request wire overhead under the current connection model."""
+        if self.keep_alive:
+            return self.keepalive_overhead_bytes
+        return self.connection_overhead_bytes
 
     def cpu_cost(self, *, redirected: bool = False, error: bool = False,
                  reconstructed: bool = False, body_bytes: int = 0) -> float:

@@ -118,7 +118,7 @@ class QueuedServer:
 
     def _transmit(self, response: Response, respond: RespondFn, *,
                   earliest: float, hold_worker: bool) -> None:
-        nbytes = len(response.body) + self.costs.connection_overhead_bytes
+        nbytes = len(response.body) + self.costs.effective_connection_overhead()
         __, nic_end = self.nic.reserve_bytes(earliest, nbytes)
         arrival = nic_end + self.costs.link_latency
         if self.switch is not None:

@@ -1,0 +1,144 @@
+"""ConnectionPool: persistent per-peer channels for server-to-server HTTP."""
+
+import socket
+
+import pytest
+
+from repro.client.pool import ConnectionPool, _Channel
+from repro.core.config import ServerConfig
+from repro.core.document import Location
+from repro.http.messages import Request
+from repro.server.engine import DCWSEngine
+from repro.server.filestore import MemoryStore
+from repro.server.threaded import ThreadedDCWSServer
+
+SITE = {"/a.html": b"<html>pooled</html>"}
+
+
+def free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def make_server(**config_kwargs) -> ThreadedDCWSServer:
+    loc = Location("127.0.0.1", free_port())
+    config = ServerConfig(stats_interval=60.0, pinger_interval=60.0,
+                          **config_kwargs)
+    engine = DCWSEngine(loc, config, MemoryStore(dict(SITE)))
+    return ThreadedDCWSServer(engine)
+
+
+@pytest.fixture()
+def server():
+    srv = make_server()
+    srv.start()
+    try:
+        yield srv
+    finally:
+        srv.stop()
+
+
+def get(pool: ConnectionPool, server: ThreadedDCWSServer, target="/a.html"):
+    peer = Location("127.0.0.1", server.port)
+    return pool.fetch(peer, Request(method="GET", target=target))
+
+
+def test_channel_reused_across_fetches(server):
+    with ConnectionPool() as pool:
+        for __ in range(5):
+            assert get(pool, server).status == 200
+        assert pool.requests == 5
+        assert pool.opens == 1
+        assert pool.reuses == 4
+        assert pool.idle_count() == 1
+
+
+def test_head_request_over_pooled_channel(server):
+    """HEAD's Content-Length describes the omitted body; the channel must
+    not be poisoned by reading body bytes that never come."""
+    peer = Location("127.0.0.1", server.port)
+    with ConnectionPool() as pool:
+        for __ in range(3):
+            response = pool.fetch(peer, Request(method="HEAD",
+                                                target="/a.html"))
+            assert response.status == 200
+            assert response.body == b""
+        assert pool.opens == 1
+        assert pool.reuses == 2
+
+
+def test_head_error_response_keeps_channel_clean(server):
+    """Regression: error paths used to leave the body in HEAD responses,
+    so the pinger's ``HEAD /`` (a 404 on most servers) dirtied the channel
+    and ping exchanges were never pooled."""
+    peer = Location("127.0.0.1", server.port)
+    with ConnectionPool() as pool:
+        for __ in range(3):
+            response = pool.fetch(peer, Request(method="HEAD", target="/"))
+            assert response.status == 404
+            assert response.body == b""
+        assert pool.opens == 1
+        assert pool.reuses == 2
+
+
+def test_stale_idle_channel_evicted_and_retried(server):
+    with ConnectionPool() as pool:
+        assert get(pool, server).status == 200
+        # Simulate the peer silently dropping the idle channel.
+        for idle in pool._idle.values():
+            for channel in idle:
+                channel.sock.close()
+        assert get(pool, server).status == 200
+        assert pool.evictions >= 1
+        assert pool.opens == 2
+
+
+def test_peer_closing_connection_prevents_pooling():
+    srv = make_server(keep_alive=False)
+    srv.start()
+    try:
+        with ConnectionPool() as pool:
+            for __ in range(3):
+                assert get(pool, srv).status == 200
+            # Every response said Connection: close, so nothing is pooled.
+            assert pool.idle_count() == 0
+            assert pool.opens == 3
+            assert pool.reuses == 0
+    finally:
+        srv.stop()
+
+
+def test_idle_channels_bounded_per_peer():
+    pool = ConnectionPool(max_per_peer=1)
+    a, b = socket.socketpair()
+    c, d = socket.socketpair()
+    try:
+        pool._give_back("h:80", _Channel(a))
+        pool._give_back("h:80", _Channel(c))
+        assert pool.idle_count() == 1
+    finally:
+        pool.close()
+        for sock in (a, b, c, d):
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+def test_close_drains_idle_channels(server):
+    pool = ConnectionPool()
+    assert get(pool, server).status == 200
+    assert pool.idle_count() == 1
+    pool.close()
+    assert pool.idle_count() == 0
+    # A closed pool still serves fetches; it just stops retaining channels.
+    assert get(pool, server).status == 200
+    assert pool.idle_count() == 0
+
+
+def test_unreachable_peer_raises():
+    dead = Location("127.0.0.1", free_port())
+    with ConnectionPool(timeout=0.5) as pool:
+        with pytest.raises(OSError):
+            pool.fetch(dead, Request(method="GET", target="/a.html"))

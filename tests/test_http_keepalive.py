@@ -1,0 +1,68 @@
+"""Persistent-connection semantics: header tokens and version defaults."""
+
+from repro.http.headers import Headers
+from repro.http.messages import (
+    Request,
+    Response,
+    request_wants_keep_alive,
+    response_allows_keep_alive,
+)
+
+
+class TestHasToken:
+    def test_simple_token(self):
+        headers = Headers([("Connection", "keep-alive")])
+        assert headers.has_token("connection", "Keep-Alive")
+
+    def test_token_list(self):
+        headers = Headers([("Connection", "Upgrade, keep-alive")])
+        assert headers.has_token("Connection", "keep-alive")
+        assert headers.has_token("Connection", "upgrade")
+
+    def test_no_substring_match(self):
+        headers = Headers([("Connection", "keep-alive-ish")])
+        assert not headers.has_token("Connection", "keep-alive")
+
+    def test_absent_header(self):
+        assert not Headers().has_token("Connection", "close")
+
+
+class TestRequestSemantics:
+    def test_http10_defaults_to_close(self):
+        request = Request(method="GET", target="/")
+        assert not request_wants_keep_alive(request)
+
+    def test_http10_keep_alive_opt_in(self):
+        request = Request(method="GET", target="/")
+        request.headers.set("Connection", "keep-alive")
+        assert request_wants_keep_alive(request)
+
+    def test_http11_defaults_to_keep_alive(self):
+        request = Request(method="GET", target="/", version="HTTP/1.1")
+        assert request_wants_keep_alive(request)
+
+    def test_http11_close_opt_out(self):
+        request = Request(method="GET", target="/", version="HTTP/1.1")
+        request.headers.set("Connection", "close")
+        assert not request_wants_keep_alive(request)
+
+    def test_close_beats_keep_alive(self):
+        request = Request(method="GET", target="/")
+        request.headers.add("Connection", "keep-alive")
+        request.headers.add("Connection", "close")
+        assert not request_wants_keep_alive(request)
+
+
+class TestResponseSemantics:
+    def test_http10_defaults_to_close(self):
+        assert not response_allows_keep_alive(Response(status=200))
+
+    def test_explicit_keep_alive(self):
+        response = Response(status=200)
+        response.headers.set("Connection", "keep-alive")
+        assert response_allows_keep_alive(response)
+
+    def test_http11_close(self):
+        response = Response(status=200, version="HTTP/1.1")
+        response.headers.set("Connection", "close")
+        assert not response_allows_keep_alive(response)

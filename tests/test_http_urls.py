@@ -130,3 +130,46 @@ class TestPathHelpers:
         assert strip_fragment("a.html#top") == "a.html"
         assert strip_fragment("a.html") == "a.html"
         assert strip_fragment("#only") == ""
+
+
+class TestQueryOnlyReference:
+    """Regression: join_url dropped the new query of a '?a=1' reference."""
+
+    BASE = parse_url("http://host/dir/page.html?old=0")
+
+    def test_query_only_replaces_query(self):
+        joined = join_url(self.BASE, "?page=2")
+        assert joined.path == self.BASE.path
+        assert joined.query == "page=2"
+
+    def test_query_only_empty_query(self):
+        joined = join_url(self.BASE, "?")
+        assert joined.path == self.BASE.path
+        assert joined.query == ""
+
+    def test_empty_reference_keeps_base_query(self):
+        joined = join_url(self.BASE, "")
+        assert joined.query == "old=0"
+
+    def test_fragment_only_keeps_base_query(self):
+        joined = join_url(self.BASE, "#top")
+        assert joined.query == "old=0"
+
+
+class TestHostCaseInsensitivity:
+    """Regression: same_server compared hosts case-sensitively."""
+
+    def test_parse_lowercases_host(self):
+        assert parse_url("http://HOST.Example:81/x").host == "host.example"
+
+    def test_construction_lowercases_host(self):
+        assert URL("HOST.Example", 81).host == "host.example"
+
+    def test_same_server_mixed_case(self):
+        a = parse_url("http://HOST.example:80/x")
+        b = parse_url("http://host.EXAMPLE:80/y")
+        assert a.same_server(b)
+
+    def test_path_case_preserved(self):
+        url = parse_url("http://HOST/Dir/Page.HTML")
+        assert url.path == "/Dir/Page.HTML"

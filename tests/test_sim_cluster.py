@@ -43,6 +43,14 @@ class TestConstruction:
         hosts = {u.host for u in cluster.entry_urls}
         assert hosts == {"server0", "server1"}
 
+    def test_keep_alive_knob_enables_persistent_cost_model(self):
+        plain = SimCluster(small_site(), quick_config())
+        persistent = SimCluster(small_site(), quick_config(keep_alive=True))
+        assert not plain.config.costs.keep_alive
+        assert persistent.config.costs.keep_alive
+        assert persistent.config.costs.effective_connection_overhead() < \
+            plain.config.costs.effective_connection_overhead()
+
 
 class TestRun:
     def test_progress_and_conservation(self):

@@ -80,3 +80,13 @@ class TestCostModel:
         # Section 4.4: redirections cause "a fairly low amount of load".
         costs = CostModel()
         assert costs.cpu_cost(redirected=True) < costs.cpu_cost() / 2
+
+    def test_keep_alive_shrinks_connection_overhead(self):
+        default = CostModel()
+        persistent = CostModel(keep_alive=True)
+        assert default.effective_connection_overhead() == \
+            default.connection_overhead_bytes
+        assert persistent.effective_connection_overhead() == \
+            persistent.keepalive_overhead_bytes
+        assert persistent.effective_connection_overhead() < \
+            default.effective_connection_overhead()
