@@ -99,6 +99,17 @@ class ServerConfig:
     keep_alive: bool = True
     keep_alive_timeout: float = 5.0
     keep_alive_max_requests: int = 100
+    # Serve-path cache hierarchy (template cache -> byte cache -> response
+    # cache; see DESIGN.md).  ``link_templates`` enables splice-based
+    # dirty-document reconstruction instead of the full parse/serialize
+    # round trip (False is the ablation knob quantifying the ~20 ms cost
+    # of section 5.3).  ``byte_cache_bytes`` bounds the LRU byte cache in
+    # front of a disk-backed store (0 disables; memory stores never need
+    # one).  ``response_cache_entries`` bounds the rendered-response cache
+    # keyed by (name, version, method) (0 disables).
+    link_templates: bool = True
+    byte_cache_bytes: int = 8 * 1024 * 1024
+    response_cache_entries: int = 512
 
     def __post_init__(self) -> None:
         positive = (
@@ -123,6 +134,10 @@ class ServerConfig:
                 f"unknown selection_policy: {self.selection_policy!r}")
         if self.entry_gate_ttl <= 0:
             raise ConfigError("entry_gate_ttl must be positive")
+        if self.byte_cache_bytes < 0:
+            raise ConfigError("byte_cache_bytes must be non-negative")
+        if self.response_cache_entries < 0:
+            raise ConfigError("response_cache_entries must be non-negative")
 
     def scaled(self, time_factor: float) -> "ServerConfig":
         """Return a copy with every time interval multiplied by

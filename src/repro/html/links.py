@@ -65,8 +65,7 @@ def is_followable(value: str) -> bool:
     stripped = value.strip()
     if not stripped or stripped.startswith("#"):
         return False
-    lowered = stripped.lower()
-    return not any(lowered.startswith(scheme) for scheme in _IGNORED_SCHEMES)
+    return not stripped.lower().startswith(_IGNORED_SCHEMES)
 
 
 def extract_links(document: Document) -> List[LinkRef]:

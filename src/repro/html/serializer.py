@@ -5,48 +5,79 @@ emitted double-quoted and entity-escaped, tags lower-case.  The guaranteed
 invariant — covered by property tests — is that re-parsing the output
 yields an identical link set and identical text content, which is all the
 DCWS system (and a browser) observes.
+
+The optional *capture* hook reports the exact character span every
+attribute value occupies in the output.  :mod:`repro.html.template` uses
+it to build link templates whose spans are correct by construction: the
+same code path produces the bytes and the offsets.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Callable, List, Optional
 
 from repro.errors import HTMLParseError
 from repro.html.parser import CommentNode, Document, DoctypeNode, Element, Node, Text
 from repro.html.tokenizer import VOID_ELEMENTS, escape_attribute
 
+#: capture(element, attr_index, attr_name, raw_value, start, end) — *start*
+#: and *end* delimit the escaped value inside its double quotes in the
+#: serialized output; *raw_value* is the unescaped value from the tree.
+CaptureFn = Callable[[Element, int, str, str, int, int], None]
 
-def serialize_html(document: Document) -> str:
+
+class _Out:
+    """Output accumulator that tracks the running character offset."""
+
+    __slots__ = ("parts", "length", "capture")
+
+    def __init__(self, capture: Optional[CaptureFn]) -> None:
+        self.parts: List[str] = []
+        self.length = 0
+        self.capture = capture
+
+    def append(self, text: str) -> None:
+        self.parts.append(text)
+        self.length += len(text)
+
+
+def serialize_html(document: Document, *,
+                   capture: Optional[CaptureFn] = None) -> str:
     """Render *document* as an HTML string."""
-    parts: List[str] = []
+    out = _Out(capture)
     for node in document.children:
-        _serialize_node(node, parts)
-    return "".join(parts)
+        _serialize_node(node, out)
+    return "".join(out.parts)
 
 
-def _serialize_node(node: Node, parts: List[str]) -> None:
+def _serialize_node(node: Node, out: _Out) -> None:
     if isinstance(node, Text):
-        parts.append(node.data)
+        out.append(node.data)
     elif isinstance(node, CommentNode):
-        parts.append(f"<!--{node.data}-->")
+        out.append(f"<!--{node.data}-->")
     elif isinstance(node, DoctypeNode):
-        parts.append(f"<!{node.data}>")
+        out.append(f"<!{node.data}>")
     elif isinstance(node, Element):
-        _serialize_element(node, parts)
+        _serialize_element(node, out)
     else:
         raise HTMLParseError(f"foreign node in parse tree: {node!r}")
 
 
-def _serialize_element(element: Element, parts: List[str]) -> None:
-    parts.append(f"<{element.name}")
-    for name, value in element.tag.attrs:
+def _serialize_element(element: Element, out: _Out) -> None:
+    out.append(f"<{element.name}")
+    for index, (name, value) in enumerate(element.tag.attrs):
         if value is None:
-            parts.append(f" {name}")
+            out.append(f" {name}")
         else:
-            parts.append(f' {name}="{escape_attribute(value)}"')
-    parts.append(">")
+            out.append(f' {name}="')
+            start = out.length
+            out.append(escape_attribute(value))
+            if out.capture is not None:
+                out.capture(element, index, name, value, start, out.length)
+            out.append('"')
+    out.append(">")
     if element.name in VOID_ELEMENTS:
         return
     for child in element.children:
-        _serialize_node(child, parts)
-    parts.append(f"</{element.name}>")
+        _serialize_node(child, out)
+    out.append(f"</{element.name}>")

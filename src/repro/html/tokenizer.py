@@ -10,6 +10,7 @@ the same recovery strategy browsers of the period used.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple, Union
 
@@ -25,6 +26,14 @@ RAW_TEXT_ELEMENTS = frozenset({"script", "style"})
 _NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ")
 _NAME_CHARS = _NAME_START | set("0123456789-_:.")
 _SPACE = set(" \t\r\n\f")
+
+# Precompiled fast paths for the scanner's inner loops.  Each regex
+# matches exactly the character class of the set it replaces, so the
+# token stream is byte-identical to the char-by-char scan (guarded by
+# the round-trip property tests).
+_SPACE_RE = re.compile(r"[ \t\r\n\f]+")
+_NAME_RE = re.compile(r"[a-zA-Z0-9\-_:.]+")
+_UNQUOTED_VALUE_RE = re.compile(r"[^ \t\r\n\f>]+")
 
 
 @dataclass
@@ -108,8 +117,9 @@ class _Scanner:
         return ch
 
     def skip_space(self) -> None:
-        while self.pos < self.length and self.text[self.pos] in _SPACE:
-            self.pos += 1
+        match = _SPACE_RE.match(self.text, self.pos)
+        if match is not None:
+            self.pos = match.end()
 
     def take_until(self, needle: str) -> str:
         """Consume up to (not including) *needle*; to EOF if absent."""
@@ -203,10 +213,11 @@ def _scan_declaration(scanner: _Scanner) -> Optional[Token]:
 
 
 def _scan_name(scanner: _Scanner) -> str:
-    chars: List[str] = []
-    while not scanner.eof() and scanner.peek() in _NAME_CHARS:
-        chars.append(scanner.advance())
-    return "".join(chars).lower()
+    match = _NAME_RE.match(scanner.text, scanner.pos)
+    if match is None:
+        return ""
+    scanner.pos = match.end()
+    return match.group().lower()
 
 
 def _scan_end_tag(scanner: _Scanner, start: int) -> Token:
@@ -251,12 +262,11 @@ def _scan_start_tag(scanner: _Scanner, start: int) -> Token:
 
 
 def _scan_attribute(scanner: _Scanner) -> Optional[Tuple[str, Optional[str]]]:
-    if scanner.peek() not in _NAME_CHARS:
+    match = _NAME_RE.match(scanner.text, scanner.pos)
+    if match is None:
         return None
-    chars: List[str] = []
-    while not scanner.eof() and scanner.peek() in _NAME_CHARS:
-        chars.append(scanner.advance())
-    name = "".join(chars).lower()
+    scanner.pos = match.end()
+    name = match.group().lower()
     scanner.skip_space()
     if scanner.peek() != "=":
         return (name, None)
@@ -270,10 +280,11 @@ def _scan_attribute(scanner: _Scanner) -> Optional[Tuple[str, Optional[str]]]:
             scanner.advance()
         return (name, unescape_entities(value))
     # Unquoted value: runs to whitespace or '>'.
-    chars = []
-    while not scanner.eof() and scanner.peek() not in _SPACE and scanner.peek() != ">":
-        chars.append(scanner.advance())
-    return (name, unescape_entities("".join(chars)))
+    match = _UNQUOTED_VALUE_RE.match(scanner.text, scanner.pos)
+    if match is None:
+        return (name, unescape_entities(""))
+    scanner.pos = match.end()
+    return (name, unescape_entities(match.group()))
 
 
 _ENTITIES = {

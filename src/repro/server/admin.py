@@ -7,7 +7,9 @@ A DCWS server answers four plain-text administrative endpoints:
 - ``/~dcws/graph``  — the Local Document Graph, one tuple per line
   (the paper's Figure 2, live);
 - ``/~dcws/load``   — the Global Load Table as this server sees it;
-- ``/~dcws/events`` — the tail of the structured event log.
+- ``/~dcws/events`` — the tail of the structured event log;
+- ``/~dcws/caches`` — hit/miss/eviction counters of the serve-path cache
+  hierarchy (link templates, byte cache, response cache).
 
 They are rendered here (pure functions over engine state) and dispatched
 by :meth:`repro.server.engine.DCWSEngine.handle_request`, so both the real
@@ -42,6 +44,7 @@ def render_status(engine) -> str:
         f"  304 not modified      {stats.responses_304}",
         f"  404 not found         {stats.responses_404}",
         f"reconstructions         {stats.reconstructions}",
+        f"  via template splice   {stats.splices}",
         f"migrations              {stats.migrations}",
         f"revocations             {stats.revocations}",
         f"replications            {stats.replications}",
@@ -92,10 +95,25 @@ def render_events(engine, limit: int = 50) -> str:
     return "\n".join(lines) + "\n"
 
 
+def render_caches(engine) -> str:
+    """The serve-path cache hierarchy, one counter per line."""
+    lines: List[str] = []
+    for layer, counters in engine.cache_counters().items():
+        lines.append(f"{layer}:")
+        for key in sorted(counters):
+            value = counters[key]
+            if isinstance(value, float):
+                lines.append(f"  {key:<16} {value:.4f}")
+            else:
+                lines.append(f"  {key:<16} {value}")
+    return "\n".join(lines) + "\n"
+
+
 #: endpoint path (under /~dcws/) -> renderer
 ENDPOINTS = {
     "status": render_status,
     "graph": render_graph,
     "load": render_load_table,
     "events": render_events,
+    "caches": render_caches,
 }

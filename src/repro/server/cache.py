@@ -1,0 +1,233 @@
+"""Versioned serve-path caches (byte cache and rendered-response cache).
+
+DistCache-style observation: a small cache in front of a distributed
+store absorbs the skewed head of web load.  Two layers sit on the DCWS
+serve hot path:
+
+- :class:`CachingStore` — a size-bounded LRU *byte cache* wrapped around
+  any :class:`~repro.server.filestore.DocumentStore` (in practice the
+  :class:`~repro.server.filestore.DiskStore`), so repeat ``get`` calls for
+  hot documents stop re-reading the disk.  ``put``/``delete`` write
+  through and invalidate.
+- :class:`ResponseCache` — rendered 200 responses keyed by
+  ``(name, version, method)``, so a repeat hit skips the store entirely
+  and reuses the same immutable body bytes.  Version bumps (author
+  updates, migration/revocation dirtying) change the key, and
+  regeneration explicitly invalidates, so a stale body is never served.
+
+Both caches keep their own small lock: the threaded server touches them
+from worker threads outside the engine lock (lock-scope reduction), and
+the counters feed the admin endpoint and benchmarks.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.server.filestore import DocumentStore
+
+
+@dataclass
+class CacheStats:
+    """Cumulative counters one cache exposes to stats/admin."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "hit_rate": round(self.hit_rate, 4)}
+
+
+class LRUByteCache:
+    """A byte-bounded LRU map of document name -> bytes.
+
+    ``capacity_bytes <= 0`` disables the cache (every lookup misses).
+    Oversized single values are not cached rather than flushing the
+    whole cache to make room.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        self.capacity_bytes = capacity_bytes
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, bytes]" = OrderedDict()
+        self._used = 0
+        self._lock = threading.Lock()
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, name: str) -> Optional[bytes]:
+        with self._lock:
+            data = self._entries.get(name)
+            if data is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(name)
+            self.stats.hits += 1
+            return data
+
+    def put(self, name: str, data: bytes) -> None:
+        if self.capacity_bytes <= 0:
+            return
+        size = len(data)
+        with self._lock:
+            old = self._entries.pop(name, None)
+            if old is not None:
+                self._used -= len(old)
+            if size > self.capacity_bytes:
+                return
+            self._entries[name] = data
+            self._used += size
+            while self._used > self.capacity_bytes:
+                __, evicted = self._entries.popitem(last=False)
+                self._used -= len(evicted)
+                self.stats.evictions += 1
+
+    def invalidate(self, name: str) -> None:
+        with self._lock:
+            data = self._entries.pop(name, None)
+            if data is not None:
+                self._used -= len(data)
+                self.stats.invalidations += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._used = 0
+
+
+class CachingStore(DocumentStore):
+    """LRU byte cache in front of another :class:`DocumentStore`.
+
+    Reads fill the cache; writes and deletes go through to the inner
+    store and keep the cache coherent (the fresh bytes replace the cached
+    entry rather than merely invalidating it, so a concurrent reader can
+    never observe a partially written disk file).
+    """
+
+    def __init__(self, inner: DocumentStore, capacity_bytes: int) -> None:
+        self.inner = inner
+        self.cache = LRUByteCache(capacity_bytes)
+
+    def get(self, name: str) -> bytes:
+        data = self.cache.get(name)
+        if data is not None:
+            return data
+        data = self.inner.get(name)
+        self.cache.put(name, data)
+        return data
+
+    def put(self, name: str, data: bytes) -> None:
+        data = bytes(data)
+        self.inner.put(name, data)
+        self.cache.put(name, data)
+
+    def delete(self, name: str) -> None:
+        self.inner.delete(name)
+        self.cache.invalidate(name)
+
+    def names(self) -> List[str]:
+        return self.inner.names()
+
+    def __contains__(self, name: object) -> bool:
+        return name in self.inner
+
+    def size(self, name: str) -> int:
+        return self.inner.size(name)
+
+    def items(self) -> Iterator[Tuple[str, bytes]]:
+        return self.inner.items()
+
+
+@dataclass(frozen=True)
+class CachedResponse:
+    """One rendered 200: shared immutable body plus the header facts."""
+
+    body: bytes
+    content_length: int
+    content_type: str
+    version: str
+
+
+class ResponseCache:
+    """Rendered-response LRU keyed by ``(name, version, method)``.
+
+    Bounded by entry count.  ``invalidate(name)`` drops every version and
+    method of *name* — used when a regeneration or a hosted-copy refresh
+    rewrites bytes without the version changing observably.
+    """
+
+    def __init__(self, capacity_entries: int) -> None:
+        self.capacity_entries = capacity_entries
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Tuple[str, str, str], CachedResponse]" = \
+            OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity_entries > 0
+
+    def get(self, name: str, version: object,
+            method: str) -> Optional[CachedResponse]:
+        if not self.enabled:
+            return None
+        key = (name, str(version), method)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+
+    def put(self, name: str, version: object, method: str,
+            entry: CachedResponse) -> None:
+        if not self.enabled:
+            return
+        key = (name, str(version), method)
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def invalidate(self, name: str) -> int:
+        """Drop every cached rendering of *name*; returns how many."""
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == name]
+            for key in stale:
+                del self._entries[key]
+            if stale:
+                self.stats.invalidations += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

@@ -36,7 +36,7 @@ turn the co-op into an accidental mirror of the whole site.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.config import ServerConfig
 from repro.core.consistency import DueTracker, PeerHealth
@@ -53,11 +53,12 @@ from repro.core.naming import (
     is_migrated_path,
     migrated_url,
 )
-from repro.errors import NamingError
+from repro.errors import DocumentNotFound, NamingError
 from repro.html.links import extract_links
 from repro.html.parser import parse_html
 from repro.html.rewriter import rewrite_links
 from repro.html.serializer import serialize_html
+from repro.html.template import LinkTemplate, build_link_template
 from repro.http.headers import Headers
 from repro.http.messages import (
     Request,
@@ -78,8 +79,9 @@ from repro.http.cookies import (
 )
 from repro.http.urls import URL, join_url, normalize_path, strip_fragment
 from repro.server.admin import ADMIN_PREFIX
+from repro.server.cache import CachedResponse, CachingStore, ResponseCache
 from repro.server.entrygate import COOKIE_NAME, EntryGate
-from repro.server.filestore import DocumentStore, guess_content_type
+from repro.server.filestore import DocumentStore, MemoryStore, guess_content_type
 
 VERSION_HEADER = "X-DCWS-Version"
 PURPOSE_HEADER = "X-DCWS-Purpose"
@@ -93,15 +95,18 @@ HOSTED_HITS_HEADER = "X-DCWS-Hosted-Hits"
 class EngineReply:
     """A finished response plus accounting the host may need.
 
-    ``reconstructed`` flags that serving this request required a full
-    parse-and-regenerate pass (the ~20 ms cost of section 5.3);
-    ``parsed_only`` flags a parse without regeneration (~3 ms).
+    ``reconstructed`` flags that serving this request required a
+    dirty-document regeneration; ``spliced`` qualifies it as the cheap
+    link-template splice rather than the full parse-and-regenerate pass
+    (the ~20 ms cost of section 5.3).  ``parsed_only`` flags a parse
+    without regeneration (~3 ms).
     """
 
     response: Response
     doc_name: str = ""
     reconstructed: bool = False
     parsed_only: bool = False
+    spliced: bool = False
 
 
 @dataclass
@@ -117,6 +122,39 @@ class PullFromHome:
     original: str          # path on the home server
     request: Request
     client_request: Request
+
+
+@dataclass
+class RegenerateAndServe:
+    """Directive: a dirty document must be regenerated before serving.
+
+    Only emitted when the host opted in (``engine.defer_regeneration``,
+    set by the threaded server): the host runs
+    :meth:`DCWSEngine.regeneration_plan` under its engine lock, performs
+    the splice *outside* the lock (guarded per document so two workers
+    never regenerate the same name concurrently), commits via
+    :meth:`DCWSEngine.commit_regeneration`, and finishes the request with
+    :meth:`DCWSEngine.serve_after_regeneration`.
+    """
+
+    name: str
+    version: int
+    request: Request
+
+
+@dataclass
+class RegenerationPlan:
+    """Everything an off-lock splice needs, captured under the lock."""
+
+    name: str
+    version: int
+    template: LinkTemplate
+    replacements: List[Optional[str]]
+
+    def apply(self) -> "Tuple[str, LinkTemplate]":
+        """The CPU-heavy string work; safe to run outside the engine
+        lock — it touches only this plan's immutable captures."""
+        return self.template.splice_all(self.replacements)
 
 
 @dataclass
@@ -162,6 +200,8 @@ class EngineStats:
     responses_404: int = 0
     bytes_sent: int = 0
     reconstructions: int = 0
+    splices: int = 0           # reconstructions served by template splice
+    template_builds: int = 0   # link templates built (each costs a parse)
     parses: int = 0
     pulls_started: int = 0
     pulls_completed: int = 0
@@ -187,7 +227,24 @@ class DCWSEngine:
                  peers: Iterable[Location] = ()) -> None:
         self.location = location
         self.config = config
+        # Byte cache (DistCache-style) in front of disk-backed stores;
+        # memory stores are already memory-resident, and a store the
+        # caller pre-wrapped keeps its own cache.
+        if config.byte_cache_bytes > 0 and \
+                not isinstance(store, (MemoryStore, CachingStore)):
+            store = CachingStore(store, config.byte_cache_bytes)
         self.store = store
+        # Rendered-response cache keyed by (name, version, method).
+        self.response_cache = ResponseCache(config.response_cache_entries)
+        # Per-document link templates for splice reconstruction, synced at
+        # every point the stored bytes change (initial parse, author
+        # update, regeneration commit).  Keyed by name: migration events
+        # bump a document's *version* without touching its bytes, so the
+        # template stays valid across them.
+        self._templates: Dict[str, LinkTemplate] = {}
+        # Host capability: the threaded server sets this so dirty-document
+        # regeneration runs outside its engine lock (RegenerateAndServe).
+        self.defer_regeneration = False
         self.graph = LocalDocumentGraph(
             location, enforce_entry_home=config.protect_entry_points)
         self.glt = GlobalLoadTable(location)
@@ -232,14 +289,19 @@ class DCWSEngine:
                 sources[name] = data
         for name, data in sources.items():
             self.stats.parses += 1
-            link_names = self._extract_link_names(name, data)
+            link_names = self._index_html(name, data)
             self.graph.set_links(name, link_names)
         self._last_stats_at = now
         self._last_ping_at = now
         self._initialized = True
 
-    def _extract_link_names(self, base_name: str, data: bytes) -> List[str]:
+    def _index_html(self, base_name: str, data: bytes) -> List[str]:
+        """One parse, two products: the document's link names for the LDG
+        and a fresh link template for splice reconstruction."""
         document = parse_html(data.decode("latin-1"))
+        if self.config.link_templates:
+            self._templates[base_name] = build_link_template(document)
+            self.stats.template_builds += 1
         names: List[str] = []
         for link in extract_links(document):
             resolved = self._resolve_to_name(base_name, link.value)
@@ -277,12 +339,15 @@ class DCWSEngine:
     # Request handling
     # ------------------------------------------------------------------
 
-    def handle_request(self, request: Request,
-                       now: float) -> Union[EngineReply, PullFromHome]:
+    def handle_request(self, request: Request, now: float
+                       ) -> Union[EngineReply, PullFromHome,
+                                  RegenerateAndServe]:
         """Process one client or peer request.
 
-        Returns a finished :class:`EngineReply`, or a :class:`PullFromHome`
-        directive when a migrated document must first be fetched lazily.
+        Returns a finished :class:`EngineReply`; a :class:`PullFromHome`
+        directive when a migrated document must first be fetched lazily;
+        or a :class:`RegenerateAndServe` directive when the host asked to
+        run dirty-document regeneration itself (off its engine lock).
         """
         self.stats.requests += 1
         self._absorb_piggyback(request.headers)
@@ -324,8 +389,8 @@ class DCWSEngine:
 
     # -- local (home-server) documents ---------------------------------
 
-    def _handle_local(self, request: Request, path: str,
-                      now: float) -> EngineReply:
+    def _handle_local(self, request: Request, path: str, now: float
+                      ) -> Union[EngineReply, RegenerateAndServe]:
         record = self.graph.find(path)
         if record is None:
             self.stats.responses_404 += 1
@@ -357,7 +422,8 @@ class DCWSEngine:
         return self._serve_home_document(request, record, now)
 
     def _serve_home_document(self, request: Request, record: DocumentRecord,
-                             now: float) -> EngineReply:
+                             now: float
+                             ) -> Union[EngineReply, RegenerateAndServe]:
         # A validating co-op reports the hits its hosted copy absorbed;
         # credit them so selection/re-migration/replication see real
         # demand for documents that no longer generate local hits.
@@ -365,33 +431,61 @@ class DCWSEngine:
         if reported > 0:
             record.record_hit(reported)
         reconstructed = False
+        spliced = False
         if record.dirty and record.is_html:
-            self._regenerate(record)
+            if self.defer_regeneration:
+                # Lock-scope reduction: hand the splice to the host so the
+                # string work runs outside the engine lock.
+                return RegenerateAndServe(name=record.name,
+                                          version=record.version,
+                                          request=request)
+            spliced = self._regenerate(record)
             reconstructed = True
             self.metrics.record_reconstruction(now)
             self.stats.reconstructions += 1
-        data = self.store.get(record.name)
+            if spliced:
+                self.stats.splices += 1
+        return self._respond_home(request, record, now,
+                                  reconstructed=reconstructed,
+                                  spliced=spliced)
+
+    def _respond_home(self, request: Request, record: DocumentRecord,
+                      now: float, *, reconstructed: bool = False,
+                      spliced: bool = False) -> EngineReply:
+        """Render (or reuse) the response for a clean home document."""
         # Conditional validation support (section 4.5): a co-op re-request
-        # carrying our current version gets a cheap 304.
+        # carrying our current version gets a cheap 304 — no store read.
         peer_version = request.headers.get(VERSION_HEADER)
         if peer_version is not None and peer_version == str(record.version):
             response = Response(status=StatusCode.NOT_MODIFIED)
             response.headers.set(VERSION_HEADER, str(record.version))
             self.stats.responses_304 += 1
             return self._finish(request, response, now, doc_name=record.name,
-                                reconstructed=reconstructed)
-        response = Response(status=StatusCode.OK,
-                            body=b"" if request.method == "HEAD" else data)
-        response.headers.set("Content-Type", record.content_type)
-        response.headers.set("Content-Length", str(len(data)))
-        response.headers.set(VERSION_HEADER, str(record.version))
+                                reconstructed=reconstructed, spliced=spliced)
+        cached = self.response_cache.get(record.name, record.version,
+                                         request.method)
+        if cached is None:
+            data = self.store.get(record.name)
+            cached = CachedResponse(
+                body=b"" if request.method == "HEAD" else data,
+                content_length=len(data),
+                content_type=record.content_type,
+                version=str(record.version))
+            self.response_cache.put(record.name, record.version,
+                                    request.method, cached)
+        response = Response(status=StatusCode.OK, body=cached.body)
+        response.headers.set("Content-Type", cached.content_type)
+        response.headers.set("Content-Length", str(cached.content_length))
+        response.headers.set(VERSION_HEADER, cached.version)
         if self.entry_gate is not None and record.entry_point:
+            # Gate cookies are time-dependent, so they are applied per
+            # request on top of the cached rendering.
             response.headers.set("Set-Cookie", build_set_cookie(
                 COOKIE_NAME, self.entry_gate.issue(now),
                 max_age=int(self.config.entry_gate_ttl)))
         self.stats.responses_200 += 1
         return self._finish(request, response, now, doc_name=record.name,
-                            reconstructed=reconstructed)
+                            reconstructed=reconstructed, spliced=spliced)
 
     def _gate_passes(self, request: Request, now: float) -> bool:
         cookie_header = request.headers.get("Cookie", "") or ""
@@ -462,11 +556,23 @@ class DCWSEngine:
             pull_request.headers.set(PURPOSE_HEADER, "migration-pull")
             return PullFromHome(key=key, home=home, original=original,
                                 request=pull_request, client_request=request)
-        data = self.store.get(key)
-        response = Response(status=StatusCode.OK,
-                            body=b"" if request.method == "HEAD" else data)
-        response.headers.set("Content-Type", hosted.content_type)
-        response.headers.set("Content-Length", str(len(data)))
+        cached = self.response_cache.get(key, hosted.version, request.method) \
+            if hosted.version else None
+        if cached is None:
+            data = self.store.get(key)
+            cached = CachedResponse(
+                body=b"" if request.method == "HEAD" else data,
+                content_length=len(data),
+                content_type=hosted.content_type,
+                version=hosted.version)
+            if hosted.version:
+                # Never cache versionless copies: two pulls of the same
+                # key could then collide across re-migrations.
+                self.response_cache.put(key, hosted.version, request.method,
+                                        cached)
+        response = Response(status=StatusCode.OK, body=cached.body)
+        response.headers.set("Content-Type", cached.content_type)
+        response.headers.set("Content-Length", str(cached.content_length))
         self.stats.responses_200 += 1
         return self._finish(request, response, now, doc_name=key)
 
@@ -488,6 +594,7 @@ class DCWSEngine:
             self._absorb_piggyback(response.headers)
             self.hosted.pop(pull.key, None)
             self.validation.forget(pull.key)
+            self.response_cache.invalidate(pull.key)
             forwarded = redirect_response(
                 response.headers.get("Location", "") or "")
             self.stats.responses_301 += 1
@@ -505,6 +612,7 @@ class DCWSEngine:
         self._absorb_piggyback(response.headers)
         self.health.record_success(str(pull.home))
         self.store.put(pull.key, response.body)
+        self.response_cache.invalidate(pull.key)
         hosted.fetched = True
         hosted.size = len(response.body)
         hosted.version = response.headers.get(VERSION_HEADER, "") or ""
@@ -531,15 +639,115 @@ class DCWSEngine:
     # Dirty-document regeneration (section 4.3)
     # ------------------------------------------------------------------
 
-    def _regenerate(self, record: DocumentRecord) -> None:
-        """Parse, rewrite hyperlinks to current locations, write back."""
+    def _regenerate(self, record: DocumentRecord) -> bool:
+        """Rewrite hyperlinks to current locations and write back.
+
+        Uses the link-template splice when a template is available —
+        replacement URLs are spliced into the canonical source without
+        re-parsing — and falls back to the full parse → rewrite →
+        serialize round trip otherwise.  Returns True when the fast path
+        was used.
+        """
+        template = self._template_for(record)
+        if template is not None:
+            regenerated, next_template = template.splice(
+                lambda raw: self._rewrite_value(record.name, raw))
+            self._templates[record.name] = next_template
+            self._commit_bytes(record, regenerated.encode("latin-1"))
+            return True
         source = self.store.get(record.name).decode("latin-1")
         document = parse_html(source)
         rewrite_links(document, lambda raw: self._rewrite_value(record.name, raw))
-        regenerated = serialize_html(document).encode("latin-1")
-        self.store.put(record.name, regenerated)
-        record.size = len(regenerated)
+        self._commit_bytes(record, serialize_html(document).encode("latin-1"))
+        return False
+
+    def _template_for(self, record: DocumentRecord, *,
+                      build: bool = True) -> Optional[LinkTemplate]:
+        """The document's current link template, built on demand.
+
+        Templates exist for every home HTML document parsed at
+        initialization or update; building here (one parse, no serialize
+        round trip) covers documents that appeared by other means.
+        """
+        if not self.config.link_templates:
+            return None
+        template = self._templates.get(record.name)
+        if template is None and build:
+            try:
+                source = self.store.get(record.name).decode("latin-1")
+            except DocumentNotFound:
+                return None
+            template = build_link_template(parse_html(source))
+            self._templates[record.name] = template
+            self.stats.template_builds += 1
+        return template
+
+    def _commit_bytes(self, record: DocumentRecord, data: bytes) -> None:
+        """Install regenerated bytes: store, record, response cache."""
+        self.store.put(record.name, data)
+        record.size = len(data)
         record.dirty = False
+        # Regeneration changes bytes without bumping the version, so the
+        # rendered-response cache must be invalidated explicitly.
+        self.response_cache.invalidate(record.name)
+
+    # -- deferred regeneration (threaded host, off the engine lock) ------
+
+    def regeneration_plan(self, name: str) -> Optional[RegenerationPlan]:
+        """Capture an off-lock splice plan for *name* (host holds the
+        engine lock).  Returns ``None`` when there is nothing to do —
+        the double-checked dirty flag: another worker may have already
+        regenerated — or no template exists to splice from."""
+        record = self.graph.find(name)
+        if record is None or not record.dirty or not record.is_html:
+            return None
+        template = self._template_for(record)
+        if template is None:
+            return None
+        replacements = template.compute_replacements(
+            lambda raw: self._rewrite_value(name, raw))
+        return RegenerationPlan(name=name, version=record.version,
+                                template=template, replacements=replacements)
+
+    def commit_regeneration(self, plan: RegenerationPlan, output: str,
+                            next_template: LinkTemplate, now: float) -> bool:
+        """Install an off-lock splice result (host holds the engine lock).
+
+        Discarded — returns False — when the document changed while the
+        splice ran unlocked (version bump or concurrent regeneration).
+        """
+        record = self.graph.find(plan.name)
+        if record is None or record.version != plan.version \
+                or not record.dirty:
+            return False
+        self._templates[plan.name] = next_template
+        self._commit_bytes(record, output.encode("latin-1"))
+        self.metrics.record_reconstruction(now)
+        self.stats.reconstructions += 1
+        self.stats.splices += 1
+        return True
+
+    def serve_after_regeneration(self, directive: RegenerateAndServe,
+                                 now: float) -> EngineReply:
+        """Finish the request a :class:`RegenerateAndServe` deferred
+        (host holds the engine lock again)."""
+        record = self.graph.find(directive.name)
+        if record is not None and record.location == self.location \
+                and not record.dirty:
+            return self._respond_home(directive.request, record, now,
+                                      reconstructed=True, spliced=True)
+        # Rare races: the document vanished, migrated away, or was
+        # re-dirtied while the splice ran unlocked (the commit was then
+        # discarded).  Retake the full path inline; the extra hit this
+        # recounts is negligible against the event's rarity.
+        deferred = self.defer_regeneration
+        self.defer_regeneration = False
+        try:
+            result = self._handle_local(directive.request, directive.name, now)
+        finally:
+            self.defer_regeneration = deferred
+        assert isinstance(result, EngineReply)
+        return result
 
     def _rewrite_value(self, base_name: str, raw: str) -> Optional[str]:
         """Rewrite one hyperlink to the target's *current* location.
@@ -669,6 +877,7 @@ class DCWSEngine:
             return  # copy is current
         if response.status == StatusCode.OK:
             self.store.put(hosted.key, response.body)
+            self.response_cache.invalidate(hosted.key)
             hosted.size = len(response.body)
             hosted.version = response.headers.get(VERSION_HEADER, "") or hosted.version
             self.log.record(now, "validate_refreshed", key=hosted.key,
@@ -682,6 +891,7 @@ class DCWSEngine:
             # Either way, drop our copy; future requests for the old URL
             # pull again and are answered with the home's redirect.
             self.store.delete(hosted.key)
+            self.response_cache.invalidate(hosted.key)
             self.validation.forget(hosted.key)
             self.hosted.pop(hosted.key, None)
         # Transient statuses (503 overload, 5xx) keep the copy; the next
@@ -722,6 +932,7 @@ class DCWSEngine:
                                 content_type=guess_content_type(original))
         self.hosted[key] = hosted
         self.store.put(key, data)
+        self.response_cache.invalidate(key)
         jitter = (hash(key) % 997) / 997.0
         self.validation.register(
             key, now - jitter * self.config.validation_interval)
@@ -736,12 +947,15 @@ class DCWSEngine:
         validation."""
         record = self.graph.get(name)
         self.store.put(name, data)
+        self.response_cache.invalidate(name)
         record.size = len(data)
         record.version += 1
         if record.is_html:
             self.stats.parses += 1
-            self.graph.set_links(name, self._extract_link_names(name, data))
+            self.graph.set_links(name, self._index_html(name, data))
             record.dirty = True
+        else:
+            self._templates.pop(name, None)
         self.log.record(0.0, "content_update", name=name,
                         version=record.version)
 
@@ -763,7 +977,8 @@ class DCWSEngine:
         self.health.record_success(sender)
 
     def _finish(self, request: Request, response: Response, now: float, *,
-                doc_name: str = "", reconstructed: bool = False) -> EngineReply:
+                doc_name: str = "", reconstructed: bool = False,
+                spliced: bool = False) -> EngineReply:
         """Common bookkeeping for every response leaving this server."""
         if extract_sender(request.headers):
             # Peer transfer: piggyback our current table on the response.
@@ -790,7 +1005,7 @@ class DCWSEngine:
         self.metrics.record_connection(now, body_bytes + RESPONSE_HEAD_OVERHEAD)
         self.stats.bytes_sent += body_bytes
         return EngineReply(response=response, doc_name=doc_name,
-                           reconstructed=reconstructed)
+                           reconstructed=reconstructed, spliced=spliced)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -800,6 +1015,26 @@ class DCWSEngine:
         return self.metrics.load_metric(
             now, self.config.load_metric,
             drop_pressure_weight=self.config.drop_pressure_weight)
+
+    def cache_counters(self) -> Dict[str, Dict[str, float]]:
+        """Hit/miss/eviction counters of every serve-path cache layer,
+        for the admin endpoint, stats sampling, and benchmarks."""
+        response = self.response_cache.stats.as_dict()
+        response["entries"] = len(self.response_cache)
+        counters: Dict[str, Dict[str, float]] = {
+            "templates": {
+                "entries": len(self._templates),
+                "builds": self.stats.template_builds,
+                "splices": self.stats.splices,
+            },
+            "response_cache": response,
+        }
+        if isinstance(self.store, CachingStore):
+            byte_cache = self.store.cache.stats.as_dict()
+            byte_cache["entries"] = len(self.store.cache)
+            byte_cache["used_bytes"] = self.store.cache.used_bytes
+            counters["byte_cache"] = byte_cache
+        return counters
 
     def describe(self) -> Dict[str, object]:
         """A summary dict for logging and debugging."""

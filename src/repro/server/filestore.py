@@ -62,7 +62,11 @@ class DocumentStore(ABC):
         """Every stored document path, sorted."""
 
     def __contains__(self, name: object) -> bool:
-        return isinstance(name, str) and name in set(self.names())
+        # Fallback for exotic stores only; MemoryStore and DiskStore both
+        # override with O(1) membership instead of a full listing walk.
+        if not isinstance(name, str):
+            return False
+        return any(name == candidate for candidate in self.names())
 
     def size(self, name: str) -> int:
         return len(self.get(name))
@@ -169,3 +173,12 @@ class DiskStore(DocumentStore):
             return os.path.getsize(self._fs_path(name))
         except OSError:
             raise DocumentNotFound(name) from None
+
+    def __contains__(self, name: object) -> bool:
+        """Direct membership probe — one ``stat``, no directory walk."""
+        if not isinstance(name, str):
+            return False
+        try:
+            return os.path.isfile(self._fs_path(name))
+        except DocumentNotFound:
+            return False

@@ -26,6 +26,9 @@ class ClusterSample:
     drops_per_second: float
     per_server_cps: Dict[str, float] = field(default_factory=dict)
     reconstructions_per_second: float = 0.0
+    # Cumulative serve-path cache effectiveness across the cluster at
+    # sample time (hits / lookups of the rendered-response caches).
+    response_cache_hit_rate: float = 0.0
 
     @property
     def imbalance(self) -> float:
@@ -45,6 +48,8 @@ def sample_cluster(now: float, engines: Iterable[DCWSEngine]) -> ClusterSample:
     total_bps = 0.0
     total_drops = 0.0
     total_reconstructions = 0.0
+    cache_hits = 0
+    cache_lookups = 0
     per_server: Dict[str, float] = {}
     for engine in engines:
         cps = engine.metrics.cps(now)
@@ -52,11 +57,16 @@ def sample_cluster(now: float, engines: Iterable[DCWSEngine]) -> ClusterSample:
         total_bps += engine.metrics.bps(now)
         total_drops += engine.metrics.drops.rate(now)
         total_reconstructions += engine.metrics.reconstructions.rate(now)
+        cache_hits += engine.response_cache.stats.hits
+        cache_lookups += engine.response_cache.stats.lookups
         per_server[str(engine.location)] = cps
     return ClusterSample(time=now, cps=total_cps, bps=total_bps,
                          drops_per_second=total_drops,
                          per_server_cps=per_server,
-                         reconstructions_per_second=total_reconstructions)
+                         reconstructions_per_second=total_reconstructions,
+                         response_cache_hit_rate=(
+                             cache_hits / cache_lookups if cache_lookups
+                             else 0.0))
 
 
 @dataclass

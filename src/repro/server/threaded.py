@@ -22,8 +22,10 @@ keep-alive channels (:class:`repro.client.pool.ConnectionPool`) instead
 of opening one TCP connection per transfer.
 
 The engine is guarded by one lock; blocking network I/O (reading requests,
-sending responses, server-to-server transfers) happens outside the lock, so
-the lock only covers in-memory graph/table operations.
+sending responses, server-to-server transfers) happens outside the lock,
+and so does dirty-document regeneration (the link-template splice runs on
+the worker under a per-document guard with a double-checked dirty flag),
+so the lock only covers in-memory graph/table operations.
 """
 
 from __future__ import annotations
@@ -46,7 +48,12 @@ from repro.http.messages import (
     response_allows_keep_alive,
 )
 from repro.http.status import StatusCode
-from repro.server.engine import DCWSEngine, EngineReply, PullFromHome
+from repro.server.engine import (
+    DCWSEngine,
+    EngineReply,
+    PullFromHome,
+    RegenerateAndServe,
+)
 
 _RECV_CHUNK = 65536
 _MAX_REQUEST = 1024 * 1024
@@ -88,6 +95,12 @@ class ThreadedDCWSServer:
         # writer of _drops_drained, so neither needs synchronization.
         self._drops_recorded = 0
         self._drops_drained = 0
+        # Lock-scope reduction: dirty-document regeneration runs on the
+        # worker, outside the engine lock, guarded per document so two
+        # workers never splice the same name concurrently.
+        self.engine.defer_regeneration = True
+        self._regen_locks: dict = {}
+        self._regen_locks_mutex = threading.Lock()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -260,7 +273,39 @@ class ThreadedDCWSServer:
             result = self.engine.handle_request(request, now)
         if isinstance(result, EngineReply):
             return result.response
+        if isinstance(result, RegenerateAndServe):
+            return self._execute_regeneration(result)
         return self._execute_pull(result)
+
+    def _regen_lock(self, name: str) -> threading.Lock:
+        with self._regen_locks_mutex:
+            lock = self._regen_locks.get(name)
+            if lock is None:
+                lock = self._regen_locks[name] = threading.Lock()
+            return lock
+
+    def _execute_regeneration(self, directive: RegenerateAndServe) -> Response:
+        """Dirty-document regeneration with the splice off the engine lock.
+
+        The per-document guard serializes workers racing for the same
+        name; the double-checked dirty flag (``regeneration_plan`` returns
+        ``None`` once a peer worker has committed) makes the losers skip
+        straight to serving.  The engine lock is held only to capture the
+        plan and to commit the result — the string splice itself runs
+        unlocked, so the lock again covers just graph/table mutations.
+        """
+        with self._regen_lock(directive.name):
+            with self._lock:
+                plan = self.engine.regeneration_plan(directive.name)
+            if plan is not None:
+                output, next_template = plan.apply()
+                with self._lock:
+                    self.engine.commit_regeneration(
+                        plan, output, next_template, time.monotonic())
+        with self._lock:
+            reply = self.engine.serve_after_regeneration(
+                directive, time.monotonic())
+        return reply.response
 
     def _execute_pull(self, pull: PullFromHome) -> Response:
         """Lazy migration: blocking fetch from home, outside the lock."""

@@ -97,6 +97,12 @@ class CostModel:
     error_cpu: float = 0.0002        # 404/400/503 generation
     reconstruct_cpu: float = 0.020   # parse + rewrite + regenerate (section 5.3)
     parse_cpu: float = 0.003         # parse without regeneration (section 5.3)
+    # Link-template splice reconstruction: replacement URLs are spliced
+    # into the document's canonical bytes without re-parsing, so a dirty
+    # document costs a memory copy instead of the full 20 ms round trip.
+    # Calibrated from benchmarks/test_reconstruction_fastpath.py (>= 5x
+    # cheaper; ablations toggle ServerConfig.link_templates to compare).
+    splice_cpu: float = 0.002
 
     # Network.
     node_bandwidth: float = 100e6    # bits/s per workstation NIC
@@ -127,15 +133,20 @@ class CostModel:
         return self.connection_overhead_bytes
 
     def cpu_cost(self, *, redirected: bool = False, error: bool = False,
-                 reconstructed: bool = False, body_bytes: int = 0) -> float:
-        """Total CPU charge for one served request."""
+                 reconstructed: bool = False, spliced: bool = False,
+                 body_bytes: int = 0) -> float:
+        """Total CPU charge for one served request.
+
+        ``spliced`` qualifies a reconstruction as the link-template fast
+        path, charged ``splice_cpu`` instead of ``reconstruct_cpu``.
+        """
         if error:
             return self.error_cpu
         if redirected:
             return self.redirect_cpu
         cost = self.request_cpu + body_bytes * self.cpu_per_byte
         if reconstructed:
-            cost += self.reconstruct_cpu
+            cost += self.splice_cpu if spliced else self.reconstruct_cpu
         return cost
 
 

@@ -192,6 +192,7 @@ class SimServer(QueuedServer):
             redirected=300 <= status < 400,
             error=status >= 400,
             reconstructed=reply.reconstructed,
+            spliced=reply.spliced,
             body_bytes=len(reply.response.body))
         self.finish(reply.response, respond, cpu_cost=cost)
 

@@ -1,0 +1,108 @@
+"""Property tests: link-template splice == full parse-tree rewrite.
+
+The splice fast path (:mod:`repro.html.template`) must be byte-identical
+to the tokenize -> parse -> rewrite_links -> serialize pipeline it
+replaces, on any document and any rewrite mapping, across successive
+regeneration rounds.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.html.parser import parse_html
+from repro.html.rewriter import rewrite_html
+from repro.html.serializer import escape_attribute, serialize_html
+from repro.html.template import build_link_template
+
+# --- generators (mirroring tests/property/test_html_roundtrip.py) ------
+
+_name = st.text(alphabet="abcdefghij", min_size=1, max_size=8)
+_href = st.builds(lambda s, ext: f"/{s}.{ext}",
+                  _name, st.sampled_from(["html", "gif", "jpg"]))
+_text = st.text(alphabet="abc xyz,.!?", max_size=30)
+
+
+@st.composite
+def html_documents(draw):
+    """Well-formed-ish documents with a known set of references."""
+    pieces = []
+    for __ in range(draw(st.integers(0, 8))):
+        kind = draw(st.sampled_from(
+            ["a", "img", "frame", "body", "text", "b", "fragment", "entity"]))
+        if kind == "a":
+            pieces.append(f'<a href="{draw(_href)}">{draw(_text)}</a>')
+        elif kind == "img":
+            pieces.append(f'<img src="{draw(_href)}">')
+        elif kind == "frame":
+            pieces.append(f'<frame src="{draw(_href)}">')
+        elif kind == "body":
+            pieces.append(f'<body background="{draw(_href)}">')
+        elif kind == "b":
+            pieces.append(f"<b>{draw(_text)}</b>")
+        elif kind == "fragment":
+            pieces.append(f'<a href="#{draw(_name)}">{draw(_text)}</a>')
+        elif kind == "entity":
+            pieces.append(f'<a href="{draw(_href)}?a=1&amp;b=2">x</a>')
+        else:
+            pieces.append(draw(_text))
+    return "".join(pieces)
+
+
+@st.composite
+def rewrite_mappings(draw, values):
+    """A dict rewriting a subset of *values* to migrated-looking URLs."""
+    mapping = {}
+    for value in values:
+        if draw(st.booleans()):
+            mapping[value] = draw(st.one_of(
+                st.just(f"http://coop:8081/~migrate/home/8080{value}"),
+                _href,
+                st.just(value)))  # identity: must be treated as unchanged
+    return mapping
+
+
+# --- properties --------------------------------------------------------
+
+@given(html_documents(), st.data())
+@settings(max_examples=150)
+def test_splice_matches_full_rewrite(source, data):
+    template = build_link_template(parse_html(source))
+    values = sorted({span.value.strip() for span in template.spans})
+    mapping = data.draw(rewrite_mappings(values))
+    rewrite = lambda v: mapping.get(v)
+    output, __ = template.splice(rewrite)
+    assert output == rewrite_html(source, rewrite)
+
+
+@given(html_documents(), st.data())
+@settings(max_examples=75)
+def test_second_round_splice_matches_full_rewrite(source, data):
+    """The template returned by one splice drives the next one correctly."""
+    template = build_link_template(parse_html(source))
+    values = sorted({span.value.strip() for span in template.spans})
+    first = data.draw(rewrite_mappings(values))
+    out1, template = template.splice(lambda v: first.get(v))
+
+    values2 = sorted({span.value.strip() for span in template.spans})
+    second = data.draw(rewrite_mappings(values2))
+    out2, template = template.splice(lambda v: second.get(v))
+    assert out2 == rewrite_html(out1, lambda v: second.get(v))
+    # Span offsets always address their recorded values (in escaped form:
+    # ``value`` is the decoded attribute value handed to the rewrite fn).
+    for span in template.spans:
+        assert template.source[span.start:span.end] == \
+            escape_attribute(span.value)
+
+
+@given(html_documents())
+@settings(max_examples=100)
+def test_template_source_is_canonical_form(source):
+    template = build_link_template(parse_html(source))
+    assert template.source == serialize_html(parse_html(source))
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=150)
+def test_template_build_never_crashes_on_arbitrary_input(garbage):
+    template = build_link_template(parse_html(garbage))
+    output, __ = template.splice(lambda v: None)
+    assert output == template.source
