@@ -44,6 +44,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--state-file", default=None,
                        help="snapshot migration state here (restored on "
                             "restart)")
+    serve.add_argument("--front-end", choices=["threaded", "aio"],
+                       default="threaded",
+                       help="socket front end: thread-per-connection "
+                            "(the paper's prototype) or the nonblocking "
+                            "event loop (thousands of keep-alive clients)")
 
     simulate = commands.add_parser(
         "simulate", help="run a virtual-time cluster experiment")
@@ -84,6 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import time
 
+    from repro.server.aio import AsyncDCWSServer
     from repro.server.engine import DCWSEngine
     from repro.server.filestore import DiskStore
     from repro.server.threaded import ThreadedDCWSServer
@@ -99,10 +105,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.time_factor != 1.0 else ServerConfig()
     engine = DCWSEngine(Location(args.host, args.port), config, store,
                         entry_points=entries, peers=peers)
-    server = ThreadedDCWSServer(engine, snapshot_path=args.state_file)
+    server_cls = (AsyncDCWSServer if getattr(args, "front_end", "threaded")
+                  == "aio" else ThreadedDCWSServer)
+    server = server_cls(engine, snapshot_path=args.state_file)
     server.start()
     print(f"DCWS server on http://{args.host}:{args.port} "
-          f"({len(names)} documents, {len(peers)} peers)")
+          f"({len(names)} documents, {len(peers)} peers, "
+          f"{args.front_end} front end)")
     print(f"status: http://{args.host}:{args.port}/~dcws/status")
     try:
         while True:

@@ -159,8 +159,12 @@ def _split_links(response: Response) -> "tuple[List[str], List[str]]":
 
 
 def head_ok(peer: Location, *, timeout: float = 3.0) -> bool:
-    """Cheap liveness probe used by examples and tests."""
-    request = Request(method="HEAD", target="/")
+    """Cheap liveness probe used by examples and tests.
+
+    Targets ``/~dcws/health``, which the engine answers before any
+    accounting — probing never inflates hit counters or load metrics.
+    """
+    request = Request(method="HEAD", target="/~dcws/health")
     try:
         response = http_fetch(peer, request, timeout=timeout)
     except (OSError, HTTPError):

@@ -110,6 +110,20 @@ class ServerConfig:
     link_templates: bool = True
     byte_cache_bytes: int = 8 * 1024 * 1024
     response_cache_entries: int = 512
+    # Socket tuning and event-loop admission control.  ``listen_backlog``
+    # is the kernel accept backlog of both front ends (Table 1's socket
+    # queue length keeps its original meaning: the threaded server's
+    # bounded worker hand-off queue).  The remaining knobs govern the
+    # event-loop front end (repro.server.aio): ``max_connections`` caps
+    # concurrently open client connections — connections over the cap are
+    # shed at accept with 503 + Retry-After, the paper's overload rule
+    # applied at the edge — and ``write_buffer_limit`` is the
+    # per-connection outbound high-water mark above which the loop stops
+    # reading from that client (backpressure) until the buffer drains
+    # below half the limit.
+    listen_backlog: int = 128
+    max_connections: int = 1024
+    write_buffer_limit: int = 256 * 1024
 
     def __post_init__(self) -> None:
         positive = (
@@ -119,6 +133,7 @@ class ServerConfig:
             "coop_migration_spacing", "max_migrations_per_interval",
             "ping_failure_limit", "max_replicas",
             "keep_alive_timeout", "keep_alive_max_requests",
+            "listen_backlog", "max_connections", "write_buffer_limit",
         )
         for name in positive:
             if getattr(self, name) <= 0:

@@ -9,7 +9,11 @@ A DCWS server answers four plain-text administrative endpoints:
 - ``/~dcws/load``   — the Global Load Table as this server sees it;
 - ``/~dcws/events`` — the tail of the structured event log;
 - ``/~dcws/caches`` — hit/miss/eviction counters of the serve-path cache
-  hierarchy (link templates, byte cache, response cache).
+  hierarchy (link templates, byte cache, response cache);
+- ``/~dcws/health`` — liveness + readiness probe.  Unlike the other
+  endpoints this one is answered by the engine *before* any accounting
+  (no request counter, no CPS/BPS metrics, no entry gate), so load
+  balancers and baselines can poll it without inflating hit counters.
 
 They are rendered here (pure functions over engine state) and dispatched
 by :meth:`repro.server.engine.DCWSEngine.handle_request`, so both the real
@@ -95,6 +99,14 @@ def render_events(engine, limit: int = 50) -> str:
     return "\n".join(lines) + "\n"
 
 
+def render_health(engine) -> str:
+    """Liveness + readiness, cheap enough for per-second probing."""
+    ready = 1 if getattr(engine, "_initialized", False) else 0
+    return (f"ok\nready {ready}\n"
+            f"documents {len(engine.graph)}\n"
+            f"hosted {sum(1 for h in engine.hosted.values() if h.fetched)}\n")
+
+
 def render_caches(engine) -> str:
     """The serve-path cache hierarchy, one counter per line."""
     lines: List[str] = []
@@ -116,4 +128,8 @@ ENDPOINTS = {
     "load": render_load_table,
     "events": render_events,
     "caches": render_caches,
+    "health": render_health,
 }
+
+#: Full request path of the accounting-free health probe.
+HEALTH_PATH = ADMIN_PREFIX + "health"

@@ -1,0 +1,568 @@
+"""Event-loop front end: nonblocking keep-alive serving on ``selectors``.
+
+:class:`AsyncDCWSServer` hosts the same :class:`DCWSEngine` as the
+threaded front end (:mod:`repro.server.threaded`), but multiplexes every
+client connection on a single event-loop thread instead of parking one
+thread per connection.  The thread-per-connection model caps concurrency
+at the worker count long before the engine saturates — an idle keep-alive
+client pins a whole worker; here an idle connection costs one selector
+registration and a few hundred bytes of state, so one loop absorbs
+thousands of concurrent keep-alive clients.
+
+Structure:
+
+- **One loop thread** owns the listener, a ``selectors.DefaultSelector``,
+  and every connection's read/write state machine (:class:`_Connection`).
+  Requests are parsed incrementally by the sans-I/O
+  :class:`repro.http.wire.RequestParser` — the identical protocol code
+  the threaded front end uses.
+- **In-memory dispatches stay on the loop.**  ``engine.handle_request``
+  under the engine lock is a dictionary-and-string affair; the loop never
+  holds the lock longer than one such dispatch.
+- **Blocking work leaves the loop.**  Directives — lazy-migration pulls,
+  dirty-document splices — and periodic transfers (validations, pings)
+  run on a small :class:`~concurrent.futures.ThreadPoolExecutor` via the
+  shared :class:`repro.server.dispatch.BlockingDirectiveMixin`.
+  Completions re-enter the loop through a *self-pipe*: the executor
+  thread appends a callback to a queue and writes one byte to a
+  ``socketpair`` the selector watches, waking the loop.
+- **Admission control lives at the accept edge** (where the paper's
+  section 5.2 overload rule belongs): beyond ``config.max_connections``
+  open connections, new arrivals are shed immediately with
+  ``503 + Retry-After`` and never enter the loop.  Per-connection
+  *read deadlines* kill slowloris-style dribbled requests — the deadline
+  is armed when a request's first byte arrives and is only re-armed on
+  request completion, so dribbling buys no extension.  *Write-buffer
+  high-water marks* (``config.write_buffer_limit``) pause reading from a
+  connection whose responses are not draining (backpressure), resuming
+  below half the limit.
+
+Responses on one connection are strictly ordered: while a blocking
+directive is in flight for a connection (``busy``), further pipelined
+requests stay buffered in its parser and are dispatched only after the
+completion posts back — one in-flight blocking job per connection.
+"""
+
+from __future__ import annotations
+
+import collections
+import selectors
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Deque, Dict, Optional
+
+from repro.client.pool import ConnectionPool
+from repro.client.realclient import http_fetch
+from repro.errors import HTTPError, ReproError
+from repro.http.messages import (
+    Request,
+    Response,
+    error_response,
+    request_wants_keep_alive,
+    response_allows_keep_alive,
+)
+from repro.http.status import StatusCode
+from repro.http.wire import RequestParser
+from repro.server.dispatch import BlockingDirectiveMixin, close_quietly
+from repro.server.engine import (
+    DCWSEngine,
+    EngineReply,
+    OutboundAction,
+    RegenerateAndServe,
+)
+
+_RECV_CHUNK = 65536
+_MAX_REQUEST = 1024 * 1024
+
+
+class _Connection:
+    """Per-connection state machine: parser in, byte buffer out.
+
+    ``deadline`` is the read deadman: armed at accept, re-armed when a
+    request's *first* byte arrives (not on every byte — that is what
+    defeats slowloris) and when a response is queued (idle keep-alive
+    clock).  ``busy`` marks a blocking dispatch in the executor; the
+    connection is never reaped nor further dispatched while set.
+    ``events`` mirrors the selector registration so interest updates are
+    cheap and idempotent.
+    """
+
+    __slots__ = ("sock", "parser", "out", "served", "deadline", "busy",
+                 "close_after_flush", "reads_paused", "events")
+
+    def __init__(self, sock: socket.socket, deadline: float) -> None:
+        self.sock = sock
+        self.parser = RequestParser(max_request=_MAX_REQUEST)
+        self.out = bytearray()
+        self.served = 0
+        self.deadline = deadline
+        self.busy = False
+        self.close_after_flush = False
+        self.reads_paused = False
+        self.events = 0
+
+
+class AsyncDCWSServer(BlockingDirectiveMixin):
+    """Host a :class:`DCWSEngine` behind a single-threaded event loop."""
+
+    def __init__(self, engine: DCWSEngine, *,
+                 bind_host: str = "",
+                 request_timeout: float = 10.0,
+                 tick_period: float = 0.25,
+                 snapshot_path: Optional[str] = None,
+                 snapshot_interval: float = 30.0) -> None:
+        self.engine = engine
+        self.bind_host = bind_host or engine.location.host
+        self.port = engine.location.port
+        self.request_timeout = request_timeout
+        self.tick_period = tick_period
+        self.snapshot_path = snapshot_path
+        self.snapshot_interval = snapshot_interval
+        self._last_snapshot = 0.0
+        # Engine guard, shared between the loop and executor threads.
+        self._lock = threading.Lock()
+        self._listener: Optional[socket.socket] = None
+        self._selector: Optional[selectors.BaseSelector] = None
+        self._thread: Optional[threading.Thread] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._stop = threading.Event()
+        self._started = threading.Event()
+        self.pool = ConnectionPool(timeout=request_timeout)
+        self.connections_accepted = 0
+        self.connections_shed = 0
+        self._drops_recorded = 0
+        self._drops_drained = 0
+        self._connections: Dict[socket.socket, _Connection] = {}
+        # Self-pipe: executor threads append completions and write one
+        # byte to wake the selector; the loop drains both.
+        self._completions: Deque[Callable[[], None]] = collections.deque()
+        self._wakeup_recv: Optional[socket.socket] = None
+        self._wakeup_send: Optional[socket.socket] = None
+        self._next_tick = 0.0
+        self._init_dispatch()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind, listen, and launch the loop thread and executor."""
+        if self._listener is not None:
+            raise ReproError("server already started")
+        with self._lock:
+            now = time.monotonic()
+            self.engine.initialize(now)
+            if self.snapshot_path:
+                from repro.server.persistence import restore_from_file
+
+                restore_from_file(self.engine, self.snapshot_path, now)
+                self._last_snapshot = now
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.bind_host, self.port))
+        listener.listen(self.engine.config.listen_backlog)
+        listener.setblocking(False)
+        self._listener = listener
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.engine.config.worker_threads,
+            thread_name_prefix=f"dcws-exec-{self.port}")
+        self._wakeup_recv, self._wakeup_send = socket.socketpair()
+        self._wakeup_recv.setblocking(False)
+        self._wakeup_send.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(listener, selectors.EVENT_READ,
+                                self._on_accept)
+        self._selector.register(self._wakeup_recv, selectors.EVENT_READ,
+                                self._on_wakeup)
+        self._stop.clear()
+        self._next_tick = time.monotonic() + self.tick_period
+        self._thread = threading.Thread(target=self._run_loop,
+                                        name=f"dcws-aio-{self.port}",
+                                        daemon=True)
+        self._thread.start()
+        self._started.set()
+
+    def stop(self) -> None:
+        """Stop the loop, drain the executor, close everything."""
+        if self._listener is None:
+            return
+        if self.snapshot_path:
+            from repro.server.persistence import save_snapshot
+
+            with self._lock:
+                save_snapshot(self.engine, self.snapshot_path,
+                              time.monotonic())
+        self._stop.set()
+        self._wake()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+        self.pool.close()
+        self._listener = None
+        self._thread = None
+        self._executor = None
+        self._started.clear()
+
+    def wait_ready(self, timeout: float = 5.0) -> bool:
+        """Block until the loop thread is running."""
+        return self._started.wait(timeout)
+
+    def __enter__(self) -> "AsyncDCWSServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # The event loop
+    # ------------------------------------------------------------------
+
+    def _run_loop(self) -> None:
+        assert self._selector is not None
+        try:
+            while not self._stop.is_set():
+                timeout = min(max(self._next_tick - time.monotonic(), 0.0),
+                              0.1)
+                for key, mask in self._selector.select(timeout):
+                    data = key.data
+                    try:
+                        if isinstance(data, _Connection):
+                            self._on_connection_event(data, mask)
+                        else:
+                            data()  # accept burst or wakeup drain
+                    except Exception:
+                        # A broken connection must never kill the loop.
+                        if isinstance(data, _Connection):
+                            self._close(data)
+                now = time.monotonic()
+                if now >= self._next_tick:
+                    self._tick(now)
+                    self._next_tick = now + self.tick_period
+                self._reap(now)
+        finally:
+            self._shutdown_loop()
+
+    def _shutdown_loop(self) -> None:
+        for conn in list(self._connections.values()):
+            self._close(conn)
+        for sock in (self._listener, self._wakeup_recv, self._wakeup_send):
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        self._wakeup_recv = None
+        self._wakeup_send = None
+        if self._selector is not None:
+            self._selector.close()
+            self._selector = None
+
+    # -- self-pipe ------------------------------------------------------
+
+    def _post(self, callback: Callable[[], None]) -> None:
+        """Hand a callback from an executor thread to the loop."""
+        self._completions.append(callback)
+        self._wake()
+
+    def _wake(self) -> None:
+        send = self._wakeup_send
+        if send is None:
+            return
+        try:
+            send.send(b"\x00")
+        except (BlockingIOError, OSError):
+            pass  # pipe full or closing: the loop is waking anyway
+
+    def _on_wakeup(self) -> None:
+        assert self._wakeup_recv is not None
+        try:
+            while self._wakeup_recv.recv(4096):
+                pass
+        except (BlockingIOError, OSError):
+            pass
+        while self._completions:
+            self._completions.popleft()()
+
+    # -- accept edge: admission control ---------------------------------
+
+    def _on_accept(self) -> None:
+        assert self._listener is not None
+        while True:
+            try:
+                sock, __ = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+            self.connections_accepted += 1
+            sock.setblocking(False)
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass
+            if len(self._connections) >= self.engine.config.max_connections:
+                self._shed(sock)
+                continue
+            conn = _Connection(sock, time.monotonic() + self.request_timeout)
+            self._connections[sock] = conn
+            self._selector.register(sock, selectors.EVENT_READ, conn)
+            conn.events = selectors.EVENT_READ
+
+    def _shed(self, sock: socket.socket) -> None:
+        """Over the connection cap: graceful 503 drop at the edge.
+
+        Best-effort single nonblocking send — the overload that causes
+        shedding must never stall the accept path.  The drop is tallied
+        lock-free and drained into the engine metrics by the next tick,
+        so drop pressure still feeds the advertised load metric.
+        """
+        self._drops_recorded += 1
+        self.connections_shed += 1
+        response = error_response(StatusCode.SERVICE_UNAVAILABLE,
+                                  "server overloaded")
+        response.headers.set("Connection", "close")
+        response.headers.set("Retry-After", "1")
+        try:
+            sock.send(response.serialize())
+        except OSError:
+            pass
+        close_quietly(sock)
+
+    # -- per-connection reads -------------------------------------------
+
+    def _on_connection_event(self, conn: _Connection, mask: int) -> None:
+        if mask & selectors.EVENT_WRITE:
+            self._flush(conn)
+        if conn.sock in self._connections and mask & selectors.EVENT_READ:
+            self._read(conn)
+
+    def _read(self, conn: _Connection) -> None:
+        try:
+            chunk = conn.sock.recv(_RECV_CHUNK)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._close(conn)
+            return
+        now = time.monotonic()
+        if chunk:
+            arming = not conn.parser.buffered
+            try:
+                conn.parser.feed(chunk)
+            except HTTPError:
+                self._fail(conn, StatusCode.BAD_REQUEST)
+                return
+            if arming:
+                # First byte of a new request: the whole request must
+                # now arrive within request_timeout.  Deliberately not
+                # re-armed per byte — a slowloris dribble gains nothing.
+                conn.deadline = now + self.request_timeout
+        else:
+            conn.parser.feed_eof()
+            self._update_interest(conn)  # stop watching a half-closed read side
+        if not conn.busy:
+            self._pump(conn, now)
+
+    def _pump(self, conn: _Connection, now: float) -> None:
+        """Dispatch every complete buffered request, in order.
+
+        Stops when a blocking dispatch enters the executor (``busy``) —
+        keeping responses ordered — or when the connection is closing.
+        """
+        while not conn.busy and not conn.close_after_flush \
+                and conn.sock in self._connections:
+            try:
+                request = conn.parser.next_request()
+            except HTTPError:
+                self._fail(conn, StatusCode.BAD_REQUEST)
+                return
+            if request is None:
+                break
+            self._handle_request(conn, request, now)
+        if conn.sock not in self._connections or conn.busy:
+            return
+        if conn.parser.eof and not conn.close_after_flush:
+            # Peer finished sending cleanly; flush what we owe and close.
+            conn.close_after_flush = True
+            self._flush(conn)
+            return
+        if len(conn.out) >= self.engine.config.write_buffer_limit \
+                and not conn.reads_paused:
+            # Backpressure: responses are not draining — stop reading
+            # until _flush() brings the buffer under the low-water mark.
+            conn.reads_paused = True
+            self._update_interest(conn)
+
+    # -- dispatch -------------------------------------------------------
+
+    def _handle_request(self, conn: _Connection, request: Request,
+                        now: float) -> None:
+        with self._lock:
+            result = self.engine.handle_request(request, now)
+        if isinstance(result, EngineReply):
+            self._enqueue_response(conn, request, result.response)
+            return
+        # Blocking directive: hand off to the executor; the completion
+        # re-enters the loop via the self-pipe.  One in-flight job per
+        # connection keeps pipelined responses ordered.
+        conn.busy = True
+        if isinstance(result, RegenerateAndServe):
+            work = self._execute_regeneration
+        else:
+            work = self._execute_pull
+
+        def run(directive=result):
+            try:
+                response = work(directive)
+            except Exception:
+                response = error_response(StatusCode.INTERNAL_SERVER_ERROR,
+                                          "directive execution failed")
+                response.headers.set("Connection", "close")
+            self._post(lambda: self._complete_dispatch(conn, request,
+                                                       response))
+
+        self._executor.submit(run)
+
+    def _complete_dispatch(self, conn: _Connection, request: Request,
+                           response: Response) -> None:
+        """Loop-side completion of an executor dispatch."""
+        conn.busy = False
+        if conn.sock not in self._connections:
+            return  # the connection died while the work ran
+        self._enqueue_response(conn, request, response)
+        if conn.sock in self._connections:
+            self._pump(conn, time.monotonic())
+
+    def _enqueue_response(self, conn: _Connection, request: Request,
+                          response: Response) -> None:
+        config = self.engine.config
+        conn.served += 1
+        keep = (config.keep_alive
+                and conn.served < config.keep_alive_max_requests
+                and request_wants_keep_alive(request)
+                and response_allows_keep_alive(response))
+        if not keep:
+            response.headers.set("Connection", "close")
+            conn.close_after_flush = True
+        conn.out += response.serialize()
+        # Idle keep-alive clock; doubles as the write deadman — a client
+        # that never drains its responses is reaped at the same deadline.
+        conn.deadline = time.monotonic() + config.keep_alive_timeout
+        self._flush(conn)
+
+    def _fail(self, conn: _Connection, status: int) -> None:
+        """Protocol violation: answer once, stop reading, close."""
+        response = error_response(status)
+        response.headers.set("Connection", "close")
+        conn.out += response.serialize()
+        conn.close_after_flush = True
+        conn.reads_paused = True
+        self._flush(conn)
+
+    # -- writes ---------------------------------------------------------
+
+    def _flush(self, conn: _Connection) -> None:
+        if conn.sock not in self._connections:
+            return
+        if conn.out:
+            try:
+                sent = conn.sock.send(conn.out)
+                if sent:
+                    del conn.out[:sent]
+            except (BlockingIOError, InterruptedError):
+                pass
+            except OSError:
+                self._close(conn)
+                return
+        if conn.close_after_flush and not conn.out:
+            self._close(conn)
+            return
+        if conn.reads_paused and not conn.close_after_flush \
+                and len(conn.out) <= \
+                self.engine.config.write_buffer_limit // 2:
+            conn.reads_paused = False  # backpressure released
+        self._update_interest(conn)
+
+    def _update_interest(self, conn: _Connection) -> None:
+        desired = 0
+        if not conn.reads_paused and not conn.parser.eof:
+            desired |= selectors.EVENT_READ
+        if conn.out:
+            desired |= selectors.EVENT_WRITE
+        if desired == conn.events or self._selector is None:
+            return
+        try:
+            if conn.events == 0:
+                self._selector.register(conn.sock, desired, conn)
+            elif desired == 0:
+                self._selector.unregister(conn.sock)
+            else:
+                self._selector.modify(conn.sock, desired, conn)
+            conn.events = desired
+        except (KeyError, ValueError, OSError):
+            self._close(conn)
+
+    def _close(self, conn: _Connection) -> None:
+        self._connections.pop(conn.sock, None)
+        if conn.events and self._selector is not None:
+            try:
+                self._selector.unregister(conn.sock)
+            except (KeyError, ValueError, OSError):
+                pass
+        conn.events = 0
+        close_quietly(conn.sock)
+
+    # -- deadlines ------------------------------------------------------
+
+    def _reap(self, now: float) -> None:
+        """Close connections past their read/idle deadline.
+
+        Kills idle keep-alive holders, stalled half-requests (slowloris)
+        and clients that stopped draining responses.  Connections with a
+        dispatch in the executor are exempt until the completion posts.
+        """
+        if not self._connections:
+            return
+        expired = [conn for conn in self._connections.values()
+                   if not conn.busy and now >= conn.deadline]
+        for conn in expired:
+            self._close(conn)
+
+    # ------------------------------------------------------------------
+    # Periodic machinery (statistics, migration, validation, pinger)
+    # ------------------------------------------------------------------
+
+    def _tick(self, now: float) -> None:
+        pending_drops = self._drops_recorded - self._drops_drained
+        with self._lock:
+            for __ in range(pending_drops):
+                self.engine.metrics.record_drop(now)
+            actions = self.engine.tick(now)
+        self._drops_drained += pending_drops
+        for action in actions:
+            self._executor.submit(self._run_action, action)
+        if self.snapshot_path and \
+                now - self._last_snapshot >= self.snapshot_interval:
+            self._last_snapshot = now
+            self._executor.submit(self._save_snapshot)
+
+    def _run_action(self, action: OutboundAction) -> None:
+        """One periodic server-to-server transfer (executor thread)."""
+        try:
+            response = http_fetch(action.peer, action.request,
+                                  timeout=self.request_timeout,
+                                  pool=self.pool)
+        except (OSError, HTTPError):
+            response = None
+        with self._lock:
+            self.engine.complete_action(action, response, time.monotonic())
+
+    def _save_snapshot(self) -> None:
+        from repro.server.persistence import save_snapshot
+
+        with self._lock:
+            save_snapshot(self.engine, self.snapshot_path, time.monotonic())

@@ -1,0 +1,94 @@
+"""Blocking directive execution shared by both socket front ends.
+
+The engine answers a request either with a finished :class:`EngineReply`
+or with a *directive* naming blocking work — a lazy-migration pull over
+the network (:class:`PullFromHome`) or a dirty-document splice
+(:class:`RegenerateAndServe`).  How that work is scheduled differs per
+front end (a worker thread in :mod:`repro.server.threaded`, an executor
+thread in :mod:`repro.server.aio`), but the work itself — lock scoping,
+the per-document regeneration guard, the double-checked commit — is
+identical.  :class:`BlockingDirectiveMixin` implements it once.
+
+Host requirements: ``engine`` (a :class:`DCWSEngine`), ``_lock`` (the
+engine guard), ``pool`` (a :class:`repro.client.pool.ConnectionPool`) and
+``request_timeout``; call :meth:`_init_dispatch` before use.  Every
+method here may block (network or CPU) and must therefore run on a
+thread that is allowed to — never on the event loop.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+from repro.client.realclient import http_fetch
+from repro.errors import HTTPError
+from repro.http.messages import Response
+from repro.server.engine import PullFromHome, RegenerateAndServe
+
+
+class BlockingDirectiveMixin:
+    """Executes :class:`PullFromHome` / :class:`RegenerateAndServe`."""
+
+    def _init_dispatch(self) -> None:
+        # Lock-scope reduction: dirty-document regeneration runs off the
+        # engine lock, guarded per document so two threads never splice
+        # the same name concurrently.
+        self.engine.defer_regeneration = True
+        self._regen_locks: dict = {}
+        self._regen_locks_mutex = threading.Lock()
+
+    def _regen_lock(self, name: str) -> threading.Lock:
+        with self._regen_locks_mutex:
+            lock = self._regen_locks.get(name)
+            if lock is None:
+                lock = self._regen_locks[name] = threading.Lock()
+            return lock
+
+    def _execute_regeneration(self, directive: RegenerateAndServe) -> Response:
+        """Dirty-document regeneration with the splice off the engine lock.
+
+        The per-document guard serializes threads racing for the same
+        name; the double-checked dirty flag (``regeneration_plan`` returns
+        ``None`` once a peer has committed) makes the losers skip straight
+        to serving.  The engine lock is held only to capture the plan and
+        to commit the result — the string splice itself runs unlocked, so
+        the lock again covers just graph/table mutations.
+        """
+        with self._regen_lock(directive.name):
+            with self._lock:
+                plan = self.engine.regeneration_plan(directive.name)
+            if plan is not None:
+                output, next_template = plan.apply()
+                with self._lock:
+                    self.engine.commit_regeneration(
+                        plan, output, next_template, time.monotonic())
+        with self._lock:
+            reply = self.engine.serve_after_regeneration(
+                directive, time.monotonic())
+        return reply.response
+
+    def _execute_pull(self, pull: PullFromHome) -> Response:
+        """Lazy migration: blocking fetch from home, outside the lock."""
+        try:
+            upstream = http_fetch(pull.home, pull.request,
+                                  timeout=self.request_timeout,
+                                  pool=self.pool)
+        except (OSError, HTTPError):
+            upstream = None
+        with self._lock:
+            reply = self.engine.complete_pull(pull, upstream, time.monotonic())
+        return reply.response
+
+
+def close_quietly(connection: socket.socket) -> None:
+    """Shut down and close a socket, swallowing transport errors."""
+    try:
+        connection.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        connection.close()
+    except OSError:
+        pass

@@ -78,7 +78,7 @@ from repro.http.cookies import (
     parse_cookie_header,
 )
 from repro.http.urls import URL, join_url, normalize_path, strip_fragment
-from repro.server.admin import ADMIN_PREFIX
+from repro.server.admin import ADMIN_PREFIX, HEALTH_PATH
 from repro.server.cache import CachedResponse, CachingStore, ResponseCache
 from repro.server.entrygate import COOKIE_NAME, EntryGate
 from repro.server.filestore import DocumentStore, MemoryStore, guess_content_type
@@ -349,9 +349,14 @@ class DCWSEngine:
         or a :class:`RegenerateAndServe` directive when the host asked to
         run dirty-document regeneration itself (off its engine lock).
         """
+        path = normalize_path(request.path)
+        if path == HEALTH_PATH:
+            # Monitoring traffic: answered before any accounting so
+            # probes never inflate hit counters or the CPS/BPS metrics,
+            # and never bounce off the entry gate.
+            return self._handle_health(request)
         self.stats.requests += 1
         self._absorb_piggyback(request.headers)
-        path = normalize_path(request.path)
         if path.startswith(ADMIN_PREFIX):
             return self._handle_admin(request, path, now)
         if is_migrated_path(path):
@@ -386,6 +391,26 @@ class DCWSEngine:
         response.headers.set("Content-Type", "text/plain")
         response.headers.set("Content-Length", str(len(body)))
         return self._finish(request, response, now, doc_name=path)
+
+    def _handle_health(self, request: Request) -> EngineReply:
+        """The accounting-free ``/~dcws/health`` probe.
+
+        Framing headers are set here directly (this path skips
+        :meth:`_finish` on purpose — no metrics, no byte counters, no
+        piggyback) so keep-alive probes still frame correctly.
+        """
+        from repro.server import admin
+
+        body = admin.render_health(self).encode("latin-1", "replace")
+        response = Response(status=StatusCode.OK,
+                            body=b"" if request.method == "HEAD" else body)
+        response.headers.set("Content-Type", "text/plain")
+        response.headers.set("Content-Length", str(len(body)))
+        if self.config.keep_alive and request_wants_keep_alive(request):
+            response.headers.set("Connection", "keep-alive")
+        else:
+            response.headers.set("Connection", "close")
+        return EngineReply(response=response, doc_name=HEALTH_PATH)
 
     # -- local (home-server) documents ---------------------------------
 

@@ -43,15 +43,15 @@ from repro.http.messages import (
     Request,
     Response,
     error_response,
-    parse_request,
     request_wants_keep_alive,
     response_allows_keep_alive,
 )
 from repro.http.status import StatusCode
+from repro.http.wire import RequestParser
+from repro.server.dispatch import BlockingDirectiveMixin, close_quietly
 from repro.server.engine import (
     DCWSEngine,
     EngineReply,
-    PullFromHome,
     RegenerateAndServe,
 )
 
@@ -59,7 +59,7 @@ _RECV_CHUNK = 65536
 _MAX_REQUEST = 1024 * 1024
 
 
-class ThreadedDCWSServer:
+class ThreadedDCWSServer(BlockingDirectiveMixin):
     """Host a :class:`DCWSEngine` on real sockets with real threads."""
 
     def __init__(self, engine: DCWSEngine, *,
@@ -95,12 +95,7 @@ class ThreadedDCWSServer:
         # writer of _drops_drained, so neither needs synchronization.
         self._drops_recorded = 0
         self._drops_drained = 0
-        # Lock-scope reduction: dirty-document regeneration runs on the
-        # worker, outside the engine lock, guarded per document so two
-        # workers never splice the same name concurrently.
-        self.engine.defer_regeneration = True
-        self._regen_locks: dict = {}
-        self._regen_locks_mutex = threading.Lock()
+        self._init_dispatch()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -121,7 +116,7 @@ class ThreadedDCWSServer:
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((self.bind_host, self.port))
-        listener.listen(self.engine.config.socket_queue_length)
+        listener.listen(self.engine.config.listen_backlog)
         listener.settimeout(0.2)
         self._listener = listener
         self._threads = []
@@ -185,6 +180,13 @@ class ThreadedDCWSServer:
             self.connections_accepted += 1
             connection.settimeout(self.request_timeout)
             try:
+                # Responses are single sendall() calls; Nagle only delays
+                # the handful of small frames (503 drops, 304s).
+                connection.setsockopt(socket.IPPROTO_TCP,
+                                      socket.TCP_NODELAY, 1)
+            except OSError:
+                pass
+            try:
                 self._connections.put_nowait(connection)
             except queue.Full:
                 self._drop_connection(connection)
@@ -200,6 +202,7 @@ class ThreadedDCWSServer:
         response = error_response(StatusCode.SERVICE_UNAVAILABLE,
                                   "server overloaded")
         response.headers.set("Connection", "close")
+        response.headers.set("Retry-After", "1")
         try:
             connection.sendall(response.serialize())
         except OSError:
@@ -277,48 +280,6 @@ class ThreadedDCWSServer:
             return self._execute_regeneration(result)
         return self._execute_pull(result)
 
-    def _regen_lock(self, name: str) -> threading.Lock:
-        with self._regen_locks_mutex:
-            lock = self._regen_locks.get(name)
-            if lock is None:
-                lock = self._regen_locks[name] = threading.Lock()
-            return lock
-
-    def _execute_regeneration(self, directive: RegenerateAndServe) -> Response:
-        """Dirty-document regeneration with the splice off the engine lock.
-
-        The per-document guard serializes workers racing for the same
-        name; the double-checked dirty flag (``regeneration_plan`` returns
-        ``None`` once a peer worker has committed) makes the losers skip
-        straight to serving.  The engine lock is held only to capture the
-        plan and to commit the result — the string splice itself runs
-        unlocked, so the lock again covers just graph/table mutations.
-        """
-        with self._regen_lock(directive.name):
-            with self._lock:
-                plan = self.engine.regeneration_plan(directive.name)
-            if plan is not None:
-                output, next_template = plan.apply()
-                with self._lock:
-                    self.engine.commit_regeneration(
-                        plan, output, next_template, time.monotonic())
-        with self._lock:
-            reply = self.engine.serve_after_regeneration(
-                directive, time.monotonic())
-        return reply.response
-
-    def _execute_pull(self, pull: PullFromHome) -> Response:
-        """Lazy migration: blocking fetch from home, outside the lock."""
-        try:
-            upstream = http_fetch(pull.home, pull.request,
-                                  timeout=self.request_timeout,
-                                  pool=self.pool)
-        except (OSError, HTTPError):
-            upstream = None
-        with self._lock:
-            reply = self.engine.complete_pull(pull, upstream, time.monotonic())
-        return reply.response
-
     # ------------------------------------------------------------------
     # Periodic thread: statistics, migration decisions, validation, pinger
     # ------------------------------------------------------------------
@@ -361,54 +322,41 @@ class ThreadedDCWSServer:
 
 
 class _RequestReader:
-    """Incremental request reader for one persistent connection.
+    """Blocking shim over the sans-I/O parser for one connection.
 
-    Keeps leftover bytes between requests, so pipelined requests that
-    arrive in a single ``recv`` are each served in turn.  The head is
-    parsed exactly once; the body is then read to its exact
-    Content-Length.  A peer that closes mid-request raises
-    :class:`HTTPError` — a truncated body is never silently accepted.
+    All protocol behaviour — pipelining, Content-Length framing, size
+    limits, truncation rejection — lives in
+    :class:`repro.http.wire.RequestParser`; this class only moves bytes
+    from a blocking socket into it.  A peer that closes mid-request
+    raises :class:`HTTPError` — a truncated request is never silently
+    accepted.
     """
 
-    __slots__ = ("_connection", "_buffer")
+    __slots__ = ("_connection", "_parser")
 
     def __init__(self, connection: socket.socket) -> None:
         self._connection = connection
-        self._buffer = bytearray()
+        self._parser = RequestParser(max_request=_MAX_REQUEST)
 
     @property
     def buffered(self) -> bool:
         """Bytes of a further (pipelined) request are already waiting."""
-        return bool(self._buffer)
+        return self._parser.buffered
 
     def read_request(self) -> Optional[Request]:
         """Read one complete request; ``None`` on clean EOF between
         requests."""
-        head_end = self._buffer.find(b"\r\n\r\n")
-        while head_end < 0:
+        while True:
+            request = self._parser.next_request()
+            if request is not None:
+                return request
+            if self._parser.eof:
+                return None
             chunk = self._connection.recv(_RECV_CHUNK)
             if not chunk:
-                if not self._buffer:
-                    return None
-                raise HTTPError("connection closed before request completed")
-            self._buffer.extend(chunk)
-            if len(self._buffer) > _MAX_REQUEST:
-                raise HTTPError("request exceeds size limit")
-            head_end = self._buffer.find(b"\r\n\r\n")
-        request = parse_request(bytes(self._buffer[:head_end + 4]))
-        expected = request.headers.get_int("content-length", 0) or 0
-        needed = head_end + 4 + expected
-        if needed > _MAX_REQUEST:
-            raise HTTPError("request exceeds size limit")
-        while len(self._buffer) < needed:
-            chunk = self._connection.recv(_RECV_CHUNK)
-            if not chunk:
-                raise HTTPError("connection closed before request body "
-                                "completed")
-            self._buffer.extend(chunk)
-        request.body = bytes(self._buffer[head_end + 4:needed])
-        del self._buffer[:needed]
-        return request
+                self._parser.feed_eof()
+            else:
+                self._parser.feed(chunk)
 
 
 def _read_request(connection: socket.socket) -> Request:
@@ -426,12 +374,5 @@ def _send_quietly(connection: socket.socket, response: Response) -> None:
         pass
 
 
-def _close_quietly(connection: socket.socket) -> None:
-    try:
-        connection.shutdown(socket.SHUT_RDWR)
-    except OSError:
-        pass
-    try:
-        connection.close()
-    except OSError:
-        pass
+#: Shared with the event-loop front end (repro.server.dispatch).
+_close_quietly = close_quietly

@@ -1,9 +1,11 @@
-"""End-to-end tests over real sockets: the threaded prototype (§5.1).
+"""End-to-end tests over real sockets, against both front ends.
 
-Two ThreadedDCWSServer instances run on loopback ports; a real HTTP client
-exercises serving, migration, redirection, lazy pulls, piggybacking and
-the periodic machinery — the same flows the simulator models, on actual
-TCP connections.
+Two DCWS servers run on loopback ports; a real HTTP client exercises
+serving, migration, redirection, lazy pulls, piggybacking and the
+periodic machinery — the same flows the simulator models, on actual TCP
+connections.  The whole suite is parametrized over the two socket front
+ends (thread-per-connection and the selectors event loop), which must be
+behaviourally identical: same engine, same protocol code, same answers.
 """
 
 import socket
@@ -16,9 +18,12 @@ from repro.core.config import ServerConfig
 from repro.core.document import Location
 from repro.http.messages import Request
 from repro.http.urls import URL
+from repro.server.aio import AsyncDCWSServer
 from repro.server.engine import DCWSEngine
 from repro.server.filestore import MemoryStore
 from repro.server.threaded import ThreadedDCWSServer
+
+FRONT_ENDS = {"threaded": ThreadedDCWSServer, "aio": AsyncDCWSServer}
 
 SITE = {
     "/index.html": b'<html><a href="d.html">D</a><img src="i.gif"></html>',
@@ -34,9 +39,10 @@ def free_port() -> int:
         return probe.getsockname()[1]
 
 
-@pytest.fixture()
-def pair():
-    """A running (home, coop) ThreadedDCWSServer pair on loopback."""
+@pytest.fixture(params=sorted(FRONT_ENDS))
+def pair(request):
+    """A running (home, coop) server pair on loopback, per front end."""
+    server_cls = FRONT_ENDS[request.param]
     home_loc = Location("127.0.0.1", free_port())
     coop_loc = Location("127.0.0.1", free_port())
     config = ServerConfig(stats_interval=0.5, pinger_interval=0.5,
@@ -46,8 +52,8 @@ def pair():
                              entry_points=["/index.html"], peers=[coop_loc])
     coop_engine = DCWSEngine(coop_loc, config, MemoryStore(),
                              peers=[home_loc])
-    home = ThreadedDCWSServer(home_engine, tick_period=0.1)
-    coop = ThreadedDCWSServer(coop_engine, tick_period=0.1)
+    home = server_cls(home_engine, tick_period=0.1)
+    coop = server_cls(coop_engine, tick_period=0.1)
     home.start()
     coop.start()
     try:
@@ -57,7 +63,7 @@ def pair():
         coop.stop()
 
 
-def url_of(server: ThreadedDCWSServer, path: str) -> URL:
+def url_of(server, path: str) -> URL:
     return URL("127.0.0.1", server.port, path)
 
 

@@ -1,0 +1,121 @@
+"""The sans-I/O request parser shared by both socket front ends.
+
+Mirrors the blocking-reader suite (tests/test_server_request_reader.py)
+through :class:`repro.http.wire.RequestParser`, so the one protocol
+implementation both front ends consume is tested at the byte level:
+framing, pipelining, dribbled feeds, EOF semantics, size limits.
+"""
+
+import pytest
+
+from repro.errors import HTTPError
+from repro.http.wire import DEFAULT_MAX_REQUEST, RequestParser
+
+
+class TestFraming:
+    def test_single_request(self):
+        parser = RequestParser()
+        parser.feed(b"GET /x.html HTTP/1.0\r\nHost: h\r\n\r\n")
+        request = parser.next_request()
+        assert request.method == "GET"
+        assert request.target == "/x.html"
+        assert request.body == b""
+        assert not parser.buffered
+
+    def test_incomplete_head_returns_none(self):
+        parser = RequestParser()
+        parser.feed(b"GET /x.html HTTP/1.0\r\nHost:")
+        assert parser.next_request() is None
+        assert parser.buffered
+
+    def test_body_read_to_content_length(self):
+        parser = RequestParser()
+        parser.feed(b"POST /x HTTP/1.0\r\nContent-Length: 5\r\n\r\nhello-EXTRA")
+        request = parser.next_request()
+        assert request.body == b"hello"
+        # Bytes past the frame stay buffered for the next request.
+        assert parser.buffered
+
+    def test_body_arrives_in_pieces(self):
+        parser = RequestParser()
+        parser.feed(b"POST /x HTTP/1.0\r\nContent-Length: 10\r\n\r\n12345")
+        assert parser.next_request() is None
+        parser.feed(b"67890")
+        assert parser.next_request().body == b"1234567890"
+
+    def test_malformed_request_line_raises(self):
+        parser = RequestParser()
+        parser.feed(b"NOT-HTTP\r\n\r\n")
+        with pytest.raises(HTTPError):
+            parser.next_request()
+
+
+class TestPipelining:
+    def test_two_requests_served_in_turn(self):
+        parser = RequestParser()
+        parser.feed(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n")
+        assert parser.next_request().target == "/a"
+        assert parser.buffered
+        assert parser.next_request().target == "/b"
+        assert not parser.buffered
+        assert parser.next_request() is None
+
+    def test_dribbled_byte_at_a_time(self):
+        parser = RequestParser()
+        wire = b"GET /slow HTTP/1.0\r\nHost: h\r\n\r\n"
+        for index in range(len(wire) - 1):
+            parser.feed(wire[index:index + 1])
+            assert parser.next_request() is None
+        parser.feed(wire[-1:])
+        assert parser.next_request().target == "/slow"
+
+
+class TestEOF:
+    def test_clean_eof_between_requests_is_none(self):
+        parser = RequestParser()
+        parser.feed_eof()
+        assert parser.next_request() is None
+        assert parser.eof
+
+    def test_eof_after_complete_request_still_yields_it(self):
+        parser = RequestParser()
+        parser.feed(b"GET / HTTP/1.0\r\n\r\n")
+        parser.feed_eof()
+        assert parser.next_request().target == "/"
+        assert parser.next_request() is None
+
+    def test_eof_mid_head_raises(self):
+        parser = RequestParser()
+        parser.feed(b"GET /x.html HTTP/1.0\r\nHost:")
+        parser.feed_eof()
+        with pytest.raises(HTTPError):
+            parser.next_request()
+
+    def test_eof_mid_body_raises(self):
+        parser = RequestParser()
+        parser.feed(b"POST /x HTTP/1.0\r\nContent-Length: 100\r\n\r\npartial")
+        parser.feed_eof()
+        with pytest.raises(HTTPError):
+            parser.next_request()
+
+    def test_feeding_after_eof_raises(self):
+        parser = RequestParser()
+        parser.feed_eof()
+        with pytest.raises(HTTPError):
+            parser.feed(b"GET / HTTP/1.0\r\n\r\n")
+
+
+class TestLimits:
+    def test_default_limit(self):
+        assert RequestParser().max_request == DEFAULT_MAX_REQUEST
+
+    def test_oversize_head_rejected_at_feed(self):
+        parser = RequestParser(max_request=64)
+        with pytest.raises(HTTPError):
+            parser.feed(b"GET /" + b"x" * 100 + b" HTTP/1.0\r\n\r\n")
+
+    def test_oversize_body_rejected_at_parse(self):
+        parser = RequestParser(max_request=64)
+        parser.feed(b"POST /x HTTP/1.0\r\nContent-Length: 999\r\n\r\n")
+        with pytest.raises(HTTPError):
+            parser.next_request()
