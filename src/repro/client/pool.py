@@ -14,31 +14,48 @@ section 3.3) on top of saving the connection overhead.
 Health is observed, not probed: a channel that raises ``OSError`` or
 misframes a response is evicted on the spot; if it had been idle in the
 pool (the peer may simply have timed it out), the exchange is retried
-once on a fresh connection.  All requests DCWS servers exchange are
-idempotent (GET/HEAD), so the single retry is safe.
+once on a fresh connection.  The retry is restricted to idempotent
+methods (GET/HEAD): a non-idempotent request whose exchange failed is
+*not* silently replayed — the peer may have executed it before the
+channel died — and raises instead.
+
+Failure-domain hardening rides here too: an optional per-peer
+:class:`repro.client.breaker.CircuitBreaker` fails fetches toward an
+open peer instantly (no timeout burned per request), and an optional
+:class:`repro.faults.FaultPlan` injects deterministic connect/exchange
+faults for the chaos suite.
 """
 
 from __future__ import annotations
 
 import socket
 import threading
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.document import Location
 from repro.errors import HTTPError
 from repro.http.messages import Request, Response, response_allows_keep_alive
+from repro.client.breaker import CircuitBreaker
 from repro.client.realclient import read_framed_response
+
+if TYPE_CHECKING:
+    from repro.faults import FaultPlan
+
+#: Methods safe to replay once on a fresh connection after a failed
+#: exchange on a previously-idle channel.
+_IDEMPOTENT_METHODS = ("GET", "HEAD")
 
 
 class _Channel:
     """One persistent socket plus its read-ahead buffer."""
 
-    __slots__ = ("sock", "buffer", "exchanges")
+    __slots__ = ("sock", "buffer", "exchanges", "peer_key")
 
-    def __init__(self, sock: socket.socket) -> None:
+    def __init__(self, sock: socket.socket, peer_key: str = "") -> None:
         self.sock = sock
         self.buffer = bytearray()
         self.exchanges = 0
+        self.peer_key = peer_key
 
     def close(self) -> None:
         try:
@@ -60,11 +77,17 @@ class ConnectionPool:
     """
 
     def __init__(self, *, max_per_peer: int = 4,
-                 timeout: float = 10.0) -> None:
+                 timeout: float = 10.0,
+                 breaker: Optional[CircuitBreaker] = None,
+                 faults: "Optional[FaultPlan]" = None) -> None:
         if max_per_peer < 1:
             raise ValueError(f"max_per_peer must be >= 1: {max_per_peer}")
         self.max_per_peer = max_per_peer
         self.timeout = timeout
+        # Per-peer circuit breaker; None = always attempt (legacy mode).
+        self.breaker = breaker
+        # Deterministic fault injection (chaos suite); None in production.
+        self.faults = faults
         self._idle: Dict[str, List[_Channel]] = {}
         self._lock = threading.Lock()
         self._closed = False
@@ -72,6 +95,7 @@ class ConnectionPool:
         self.reuses = 0
         self.evictions = 0
         self.requests = 0
+        self.breaker_fastfails = 0  # fetches short-circuited while open
 
     # ------------------------------------------------------------------
     # The one public operation
@@ -85,6 +109,26 @@ class ConnectionPool:
             timeout = self.timeout
         request.headers.set("Connection", "keep-alive")
         key = f"{peer.host}:{peer.port}"
+        if self.breaker is not None:
+            try:
+                self.breaker.check(key)
+            except ConnectionError:
+                with self._lock:
+                    self.requests += 1
+                    self.breaker_fastfails += 1
+                raise
+        try:
+            response = self._fetch_attempts(peer, key, request, timeout)
+        except (OSError, HTTPError):
+            if self.breaker is not None:
+                self.breaker.record_failure(key)
+            raise
+        if self.breaker is not None:
+            self.breaker.record_success(key)
+        return response
+
+    def _fetch_attempts(self, peer: Location, key: str, request: Request,
+                        timeout: float) -> Response:
         channel = self._take(key)
         reused = channel is not None
         if channel is None:
@@ -93,7 +137,9 @@ class ConnectionPool:
             response, framed = self._exchange(channel, request, timeout)
         except (OSError, HTTPError):
             self._evict(channel)
-            if not reused:
+            if not reused or request.method not in _IDEMPOTENT_METHODS:
+                # Fresh-connection failure, or a method the peer may have
+                # executed before the channel died: never silently replay.
                 raise
             # An idle channel the peer had silently closed: retry once on
             # a fresh connection before declaring the peer unhealthy.
@@ -114,6 +160,8 @@ class ConnectionPool:
 
     def _exchange(self, channel: _Channel, request: Request,
                   timeout: float) -> Tuple[Response, bool]:
+        if self.faults is not None:
+            self.faults.on_exchange(channel.peer_key)
         channel.sock.settimeout(timeout)
         channel.sock.sendall(request.serialize())
         response, framed = read_framed_response(
@@ -132,11 +180,14 @@ class ConnectionPool:
             return idle.pop()  # LIFO: the most recently warm channel
 
     def _open(self, peer: Location, timeout: float) -> _Channel:
+        key = f"{peer.host}:{peer.port}"
+        if self.faults is not None:
+            self.faults.on_connect(key)
         sock = socket.create_connection((peer.host, peer.port),
                                         timeout=timeout)
         with self._lock:
             self.opens += 1
-        return _Channel(sock)
+        return _Channel(sock, key)
 
     def _give_back(self, key: str, channel: _Channel) -> None:
         with self._lock:

@@ -23,6 +23,7 @@ from repro.client.walker import FetchOutcome
 
 if TYPE_CHECKING:
     from repro.client.pool import ConnectionPool
+    from repro.faults import FaultPlan
 
 _RECV_CHUNK = 65536
 _MAX_RESPONSE = 64 * 1024 * 1024
@@ -34,17 +35,24 @@ _BODYLESS_STATUSES = (204, 304)
 
 def http_fetch(peer: Location, request: Request, *,
                timeout: float = 10.0,
-               pool: "Optional[ConnectionPool]" = None) -> Response:
+               pool: "Optional[ConnectionPool]" = None,
+               faults: "Optional[FaultPlan]" = None) -> Response:
     """Send *request* to *peer* and read the complete response.
 
     With a *pool*, the exchange rides a persistent per-peer channel
-    (opened on demand, reused across calls).  Raises
+    (opened on demand, reused across calls) and the pool's own fault
+    plan applies; *faults* covers the unpooled one-shot path.  Raises
     :class:`repro.errors.HTTPError` (or ``OSError``) on transport or
     framing problems; callers treat those as peer failure.
     """
     if pool is not None:
         return pool.fetch(peer, request, timeout=timeout)
+    key = f"{peer.host}:{peer.port}"
+    if faults is not None:
+        faults.on_connect(key)
     with socket.create_connection((peer.host, peer.port), timeout=timeout) as sock:
+        if faults is not None:
+            faults.on_exchange(key)
         sock.sendall(request.serialize())
         response, __ = read_framed_response(
             sock, bytearray(), head_request=request.method == "HEAD")

@@ -59,6 +59,12 @@ class FetchOutcome:
     def dropped(self) -> bool:
         return self.status == 503
 
+    @property
+    def transport_failed(self) -> bool:
+        """Connection refused/reset/timeout — no HTTP response at all.
+        (599 is the transport's sentinel, never sent by a server.)"""
+        return self.status == 599
+
 
 FetchFn = Callable[[URL], FetchOutcome]
 
@@ -108,6 +114,8 @@ class WalkerStats:
     drops: int = 0
     redirects: int = 0
     errors: int = 0
+    transport_failures: int = 0
+    transport_retries: int = 0
     backoff_time: float = 0.0
 
 
@@ -123,7 +131,8 @@ class RandomWalker:
                  seed: int = 0,
                  sleep: Callable[[float], None] = None,
                  min_steps: int = MIN_STEPS,
-                 max_steps: int = MAX_STEPS) -> None:
+                 max_steps: int = MAX_STEPS,
+                 max_transport_retries: int = 3) -> None:
         if not entry_points:
             raise ValueError("walker needs at least one entry-point URL")
         self.entry_points = [parse_url(e) if isinstance(e, str) else e
@@ -133,6 +142,7 @@ class RandomWalker:
         self.sleep = sleep if sleep is not None else _default_sleep
         self.min_steps = min_steps
         self.max_steps = max_steps
+        self.max_transport_retries = max_transport_retries
         self.cache = ClientCache()
         self.backoff = ExponentialBackoff()
         self.stats = WalkerStats()
@@ -193,10 +203,17 @@ class RandomWalker:
                 self.cache.store(str(image_url), outcome.size, [])
 
     def _fetch_with_backoff(self, url: URL) -> Optional[FetchOutcome]:
-        """Fetch with 503 exponential backoff; None on transport failure."""
+        """Fetch with exponential backoff on 503 drops *and* transport
+        failures (connection refused/reset); transport retries are bounded
+        by ``max_transport_retries``, drops retry indefinitely."""
+        transport_tries = 0
         while True:
             try:
                 outcome = self.fetch(url)
+            except OSError:
+                # Transports that raise instead of returning the 599
+                # sentinel (refused/reset) get the same retry treatment.
+                outcome = FetchOutcome(status=599)
             except Exception:
                 self.stats.errors += 1
                 return None
@@ -204,6 +221,16 @@ class RandomWalker:
             self.stats.bytes_received += outcome.size
             if outcome.redirected:
                 self.stats.redirects += 1
+            if outcome.transport_failed:
+                self.stats.transport_failures += 1
+                if transport_tries >= self.max_transport_retries:
+                    return outcome  # counted as an error by the caller
+                transport_tries += 1
+                self.stats.transport_retries += 1
+                delay = self.backoff.on_drop()
+                self.stats.backoff_time += delay
+                self.sleep(delay)
+                continue
             if outcome.dropped:
                 self.stats.drops += 1
                 delay = self.backoff.on_drop()

@@ -124,6 +124,20 @@ class ServerConfig:
     listen_backlog: int = 128
     max_connections: int = 1024
     write_buffer_limit: int = 256 * 1024
+    # Failure-domain hardening: per-peer circuit breakers on the pooled
+    # server-to-server channels.  After ``breaker_failure_threshold``
+    # consecutive transport failures the peer's circuit opens and fetches
+    # toward it fail instantly; after ``breaker_reset_timeout`` (doubled
+    # per consecutive open, capped at ``breaker_max_reset_timeout``,
+    # jittered by up to ``breaker_jitter``) it goes half-open and admits
+    # ``breaker_half_open_probes`` trial fetches.  ``circuit_breaker``
+    # False disables the whole mechanism (pre-hardening behaviour).
+    circuit_breaker: bool = True
+    breaker_failure_threshold: int = 3
+    breaker_reset_timeout: float = 0.5
+    breaker_max_reset_timeout: float = 30.0
+    breaker_half_open_probes: int = 1
+    breaker_jitter: float = 0.1
 
     def __post_init__(self) -> None:
         positive = (
@@ -134,6 +148,8 @@ class ServerConfig:
             "ping_failure_limit", "max_replicas",
             "keep_alive_timeout", "keep_alive_max_requests",
             "listen_backlog", "max_connections", "write_buffer_limit",
+            "breaker_failure_threshold", "breaker_reset_timeout",
+            "breaker_half_open_probes",
         )
         for name in positive:
             if getattr(self, name) <= 0:
@@ -153,6 +169,11 @@ class ServerConfig:
             raise ConfigError("byte_cache_bytes must be non-negative")
         if self.response_cache_entries < 0:
             raise ConfigError("response_cache_entries must be non-negative")
+        if self.breaker_max_reset_timeout < self.breaker_reset_timeout:
+            raise ConfigError(
+                "breaker_max_reset_timeout must be >= breaker_reset_timeout")
+        if self.breaker_jitter < 0:
+            raise ConfigError("breaker_jitter must be non-negative")
 
     def scaled(self, time_factor: float) -> "ServerConfig":
         """Return a copy with every time interval multiplied by

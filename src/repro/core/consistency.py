@@ -69,19 +69,35 @@ class PeerHealth:
 
     A peer is *suspect* after one failed ping and *dead* after
     ``failure_limit`` consecutive failures; any success resets it.
+    Failures come from the pinger *and* (since the failure-domain
+    hardening) from data-path transfers — a pull or validation that hits
+    a dead peer counts just like a failed probe, so detection no longer
+    waits out the full staleness window.
     """
 
     def __init__(self, failure_limit: int) -> None:
         self.failure_limit = failure_limit
         self._failures: Dict[str, int] = {}
+        self._last_success: Dict[str, float] = {}
 
-    def record_success(self, peer: str) -> None:
+    def record_success(self, peer: str,
+                       now: Optional[float] = None) -> None:
         self._failures.pop(peer, None)
+        if now is not None:
+            self._last_success[peer] = now
 
     def record_failure(self, peer: str) -> int:
         """Count a failure; returns the consecutive count."""
         self._failures[peer] = self._failures.get(peer, 0) + 1
         return self._failures[peer]
+
+    def failures(self, peer: str) -> int:
+        """Current consecutive-failure count for *peer* (0 = healthy)."""
+        return self._failures.get(peer, 0)
+
+    def last_success(self, peer: str) -> Optional[float]:
+        """When *peer* last succeeded, if a timestamp was recorded."""
+        return self._last_success.get(peer)
 
     def is_dead(self, peer: str) -> bool:
         return self._failures.get(peer, 0) >= self.failure_limit
@@ -96,10 +112,13 @@ class PeerHealth:
 
     def forget(self, peer: str) -> None:
         self._failures.pop(peer, None)
+        self._last_success.pop(peer, None)
 
     def reset(self, peers: Iterable[str] = ()) -> None:
         if not peers:
             self._failures.clear()
+            self._last_success.clear()
             return
         for peer in peers:
             self._failures.pop(peer, None)
+            self._last_success.pop(peer, None)

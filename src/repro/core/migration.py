@@ -23,7 +23,7 @@ across the replica set by the engine's rewriter.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.config import ServerConfig
 from repro.core.document import Location
@@ -64,6 +64,10 @@ class MigrationPolicy:
         self.glt = glt
         self._coop_last_accept: Dict[str, float] = {}
         self._migrations: Dict[str, _MigrationRecord] = {}
+        # Optional availability predicate (set by the engine): peers whose
+        # circuit breaker is open or that the health monitor holds dead
+        # never receive new migrations, re-migrations, or replicas.
+        self.peer_available: Optional[Callable[[Location], bool]] = None
 
     # ------------------------------------------------------------------
     # Queries
@@ -126,10 +130,22 @@ class MigrationPolicy:
             return own_metric > 0.0
         return own_metric > self.config.imbalance_tolerance * mean
 
+    def _available(self, peer: Location) -> bool:
+        return self.peer_available is None or self.peer_available(peer)
+
+    def _unavailable_peers(self) -> List[Location]:
+        """Peers the availability predicate currently rules out."""
+        if self.peer_available is None:
+            return []
+        return [p for p in self.glt.peers() if not self.peer_available(p)]
+
     def _eligible_coops(self, now: float, own_metric: float) -> List[Location]:
-        """Peers outside their T_coop cooldown, less loaded than we are."""
+        """Peers outside their T_coop cooldown, less loaded than we are,
+        and currently reachable (closed circuit, not suspected dead)."""
         eligible: List[Location] = []
         for peer in self.glt.peers():
+            if not self._available(peer):
+                continue
             last = self._coop_last_accept.get(str(peer))
             if last is not None and now - last < self.config.coop_migration_spacing:
                 continue
@@ -215,7 +231,8 @@ class MigrationPolicy:
                 continue
             if coop_row.metric <= self.config.imbalance_tolerance * mean:
                 continue
-            target = self.glt.least_loaded(exclude=[record.coop])
+            target = self.glt.least_loaded(
+                exclude=[record.coop] + self._unavailable_peers())
             target_row = self.glt.get(target) if target else None
             if target is None or target_row is None or target_row.metric >= mean:
                 continue
@@ -263,7 +280,8 @@ class MigrationPolicy:
             if coop_row is None or \
                     coop_row.metric <= self.config.imbalance_tolerance * mean:
                 continue
-            target = self.glt.least_loaded(exclude=list(document.locations()))
+            target = self.glt.least_loaded(
+                exclude=list(document.locations()) + self._unavailable_peers())
             if target is None:
                 continue
             last = self._coop_last_accept.get(str(target))

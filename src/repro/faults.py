@@ -1,0 +1,266 @@
+"""Deterministic fault injection for the failure-domain chaos suite.
+
+DCWS's value proposition is surviving dead co-ops and hot spots (paper
+section 4.5), which is only testable if failures can be *injected* — on
+the real socket path, in the disk store, and in the simulator — and
+*reproduced*: a chaos run that fails in CI must replay identically from
+its seed.
+
+A :class:`FaultPlan` is a seeded schedule of :class:`FaultRule` matches.
+Every injection point (a *site*) asks the plan before doing the real
+work:
+
+- ``connect``  — opening a server-to-server channel
+  (:meth:`repro.client.pool.ConnectionPool._open`, the unpooled path in
+  :func:`repro.client.realclient.http_fetch`);
+- ``exchange`` — sending a request / reading a response on an open
+  channel (:meth:`repro.client.pool.ConnectionPool._exchange`);
+- ``disk``     — reading document bytes
+  (:meth:`repro.server.filestore.DiskStore.get`);
+- the simulator consults the same plan through
+  :class:`repro.sim.network.FaultyTransport`, so one seed describes one
+  fault schedule whether the transport is real sockets or virtual time.
+
+Determinism: all randomness (probabilistic rules, delay jitter) comes
+from one ``random.Random(seed)`` consumed in call order under a lock, and
+every injected fault is appended to :attr:`FaultPlan.injected`.  Two
+plans with equal rules and seeds driven through the same sequence of
+checks produce byte-identical schedules — the property
+``tests/test_faults.py`` asserts and the CI chaos step relies on for
+seed-replay debugging.
+
+Injected failures are subclasses of the exception a *real* failure would
+raise (``ConnectionRefusedError``, ``ConnectionResetError``,
+``socket.timeout``, :class:`repro.errors.HTTPError`, ``OSError``), so
+the code under test cannot tell injection from the genuine article and
+no special-casing leaks into production paths.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ConfigError, HTTPError
+
+#: Fault kinds and the site each fires at by default.
+KINDS = {
+    "connect_refused": "connect",   # peer's listener is gone (fast failure)
+    "blackhole": "connect",         # partition: packets vanish, timeout
+    "reset": "exchange",            # RST mid-exchange
+    "truncate": "exchange",         # peer closes before the body completes
+    "delay": "exchange",            # slow peer (fixed + jittered latency)
+    "disk_error": "disk",           # unreadable file under a healthy path
+}
+
+SITES = ("connect", "exchange", "disk")
+
+
+class InjectedConnectRefused(ConnectionRefusedError):
+    """Fault injection: the peer refused the connection."""
+
+
+class InjectedReset(ConnectionResetError):
+    """Fault injection: the peer reset the connection mid-exchange."""
+
+
+class InjectedTimeout(socket.timeout):
+    """Fault injection: a blackholed peer never answered (partition)."""
+
+
+class InjectedTruncation(HTTPError):
+    """Fault injection: the response was cut short of its framed length."""
+
+
+class InjectedDiskError(OSError):
+    """Fault injection: the document bytes could not be read from disk."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One fault to inject when its site/target filters match.
+
+    ``peer`` matches the ``host:port`` of the remote end (``"*"`` = any);
+    ``name`` matches the document path for disk faults.  ``probability``
+    draws from the plan's seeded RNG; ``skip_first`` lets the first N
+    matching events through untouched (e.g. allow the lazy pull, then
+    partition); ``max_injections`` retires the rule after N injections.
+    ``delay``/``jitter`` apply to ``kind="delay"`` (seconds).
+    """
+
+    kind: str
+    site: str = ""                 # defaults to the kind's natural site
+    peer: str = "*"
+    name: str = "*"
+    probability: float = 1.0
+    skip_first: int = 0
+    max_injections: Optional[int] = None
+    delay: float = 0.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigError(f"unknown fault kind: {self.kind!r}")
+        site = self.site or KINDS[self.kind]
+        if site not in SITES:
+            raise ConfigError(f"unknown fault site: {site!r}")
+        object.__setattr__(self, "site", site)
+        if not (0.0 <= self.probability <= 1.0):
+            raise ConfigError("probability must be in [0, 1]")
+        if self.skip_first < 0 or self.delay < 0 or self.jitter < 0:
+            raise ConfigError("skip_first/delay/jitter must be non-negative")
+
+    def matches_target(self, site: str, target: str) -> bool:
+        if site != self.site:
+            return False
+        pattern = self.name if site == "disk" else self.peer
+        return pattern == "*" or pattern == target
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, in schedule order."""
+
+    index: int      # 0-based position in the plan's injection schedule
+    site: str
+    kind: str
+    target: str     # peer "host:port" or document name
+    delay: float = 0.0
+
+
+class FaultPlan:
+    """A seeded, thread-safe fault schedule shared by every injection site.
+
+    The plan is consulted with :meth:`on_connect`, :meth:`on_exchange`
+    and :meth:`on_disk_read`, which sleep (delays) or raise (everything
+    else).  The simulator uses :meth:`decide` directly and converts the
+    returned event into virtual-time behaviour.
+
+    ``enabled`` gates all injection; :meth:`block`/:meth:`unblock` toggle
+    a runtime partition of one peer on top of the static rules (chaos
+    tests partition and heal without rebuilding the plan — dynamic blocks
+    are recorded in the schedule like any other injection).
+    """
+
+    def __init__(self, rules: List[FaultRule] = (), *, seed: int = 0,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        self.rules = list(rules)
+        self.seed = seed
+        self.enabled = True
+        self.injected: List[FaultEvent] = []
+        self._rng = random.Random(seed)
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._seen: List[int] = [0] * len(self.rules)
+        self._fired: List[int] = [0] * len(self.rules)
+        self._blocked: set = set()
+
+    @classmethod
+    def from_env(cls, rules: List[FaultRule] = (), *,
+                 variable: str = "REPRO_FAULT_SEED") -> "FaultPlan":
+        """A plan seeded from the environment, so a failing CI chaos run
+        prints one number that replays the identical schedule locally."""
+        return cls(rules, seed=int(os.environ.get(variable, "0") or "0"))
+
+    # ------------------------------------------------------------------
+    # Decision core (shared by the real hooks and the sim adapter)
+    # ------------------------------------------------------------------
+
+    def decide(self, site: str, target: str) -> Optional[FaultEvent]:
+        """Should a fault fire for this event?  Consumes RNG/counters, so
+        every consult advances the schedule deterministically."""
+        with self._lock:
+            if not self.enabled:
+                return None
+            if site in ("connect", "exchange") and target in self._blocked:
+                return self._record(site, "blackhole", target, 0.0)
+            for index, rule in enumerate(self.rules):
+                if not rule.matches_target(site, target):
+                    continue
+                self._seen[index] += 1
+                if self._seen[index] <= rule.skip_first:
+                    continue
+                if rule.max_injections is not None and \
+                        self._fired[index] >= rule.max_injections:
+                    continue
+                if rule.probability < 1.0 and \
+                        self._rng.random() >= rule.probability:
+                    continue
+                self._fired[index] += 1
+                delay = rule.delay
+                if rule.kind == "delay" and rule.jitter > 0.0:
+                    delay += self._rng.uniform(0.0, rule.jitter)
+                return self._record(site, rule.kind, target, delay)
+        return None
+
+    def _record(self, site: str, kind: str, target: str,
+                delay: float) -> FaultEvent:
+        event = FaultEvent(index=len(self.injected), site=site, kind=kind,
+                           target=target, delay=delay)
+        self.injected.append(event)
+        return event
+
+    def schedule(self) -> List[Tuple[int, str, str, str]]:
+        """The injection schedule as comparable tuples (determinism
+        checks; ``delay`` is excluded so jittered schedules from equal
+        seeds still compare equal on identity, not float formatting)."""
+        return [(e.index, e.site, e.kind, e.target) for e in self.injected]
+
+    # ------------------------------------------------------------------
+    # Runtime partition control (chaos harness convenience)
+    # ------------------------------------------------------------------
+
+    def block(self, peer: str) -> None:
+        """Partition *peer*: every connect/exchange to it blackholes."""
+        with self._lock:
+            self._blocked.add(peer)
+
+    def unblock(self, peer: str) -> None:
+        """Heal the partition toward *peer*."""
+        with self._lock:
+            self._blocked.discard(peer)
+
+    # ------------------------------------------------------------------
+    # Real-transport hooks
+    # ------------------------------------------------------------------
+
+    def on_connect(self, peer: str) -> None:
+        """Called before opening a connection to *peer*."""
+        self._apply(self.decide("connect", peer), peer)
+
+    def on_exchange(self, peer: str) -> None:
+        """Called before a request/response exchange with *peer*."""
+        self._apply(self.decide("exchange", peer), peer)
+
+    def on_disk_read(self, name: str) -> None:
+        """Called before reading *name*'s bytes from a disk store."""
+        event = self.decide("disk", name)
+        if event is not None:
+            raise InjectedDiskError(f"injected disk-read error: {name}")
+
+    def _apply(self, event: Optional[FaultEvent], target: str) -> None:
+        if event is None:
+            return
+        if event.kind == "delay":
+            self._sleep(event.delay)
+            return
+        if event.kind == "connect_refused":
+            raise InjectedConnectRefused(f"injected connect refused: {target}")
+        if event.kind == "blackhole":
+            raise InjectedTimeout(f"injected partition: {target}")
+        if event.kind == "reset":
+            raise InjectedReset(f"injected connection reset: {target}")
+        if event.kind == "truncate":
+            raise InjectedTruncation(
+                f"injected truncation: connection closed before the "
+                f"response body completed ({target})")
+        raise InjectedDiskError(f"injected fault: {event.kind} ({target})")
+
+    def __repr__(self) -> str:
+        return (f"FaultPlan(seed={self.seed}, rules={len(self.rules)}, "
+                f"injected={len(self.injected)})")

@@ -154,16 +154,18 @@ def parse_response(data: bytes) -> Response:
     return Response(status=status, headers=headers, body=body, version=version)
 
 
-def redirect_response(location: str, version: str = "HTTP/1.0") -> Response:
-    """Build the 301 redirect a home server sends for a migrated document
-    (paper section 4.4)."""
+def redirect_response(location: str, version: str = "HTTP/1.0",
+                      status: int = StatusCode.MOVED_PERMANENTLY) -> Response:
+    """Build the redirect a home server sends for a migrated document
+    (paper section 4.4).  301 by default; a co-op degrading a failed
+    pull sends 302 (the move back to home is not permanent)."""
     headers = Headers()
     headers.set("Location", location)
-    body = (f"<html><head><title>301 Moved</title></head>"
+    body = (f"<html><head><title>{int(status)} Moved</title></head>"
             f"<body>Moved to <a href=\"{location}\">{location}</a></body></html>"
             ).encode("latin-1")
     headers.set("Content-Type", "text/html")
-    return Response(status=StatusCode.MOVED_PERMANENTLY, headers=headers,
+    return Response(status=status, headers=headers,
                     body=body, version=version)
 
 

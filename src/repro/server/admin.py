@@ -7,6 +7,8 @@ A DCWS server answers four plain-text administrative endpoints:
 - ``/~dcws/graph``  — the Local Document Graph, one tuple per line
   (the paper's Figure 2, live);
 - ``/~dcws/load``   — the Global Load Table as this server sees it;
+- ``/~dcws/peers``  — the failure-domain view: per-peer circuit-breaker
+  state, consecutive failures, last success, and GLT row age;
 - ``/~dcws/events`` — the tail of the structured event log;
 - ``/~dcws/caches`` — hit/miss/eviction counters of the serve-path cache
   hierarchy (link templates, byte cache, response cache);
@@ -23,6 +25,8 @@ server and the simulator expose them.
 from __future__ import annotations
 
 from typing import List
+
+from repro.core.document import Location
 
 ADMIN_PREFIX = "/~dcws/"
 
@@ -86,6 +90,51 @@ def render_load_table(engine) -> str:
     return "\n".join(lines) + "\n"
 
 
+def render_peers(engine) -> str:
+    """The failure-domain view of every known peer.
+
+    Combines the circuit breaker's per-peer snapshot (when the host wired
+    one up) with the health monitor's consecutive-failure counts and the
+    GLT row's age, so an operator sees detection state at a glance.
+    """
+    now = getattr(engine, "_admin_now", 0.0)
+    breaker = getattr(engine, "breaker", None)
+    snapshot = breaker.snapshot() if breaker is not None else {}
+    header = (f"{'Peer':<24} {'Breaker':>10} {'Trips':>6} {'Fails':>6} "
+              f"{'LastSuccess':>14} {'RetryIn':>9} {'RowAge':>10}")
+    lines = [header, "-" * len(header)]
+    peers = {str(p) for p in engine.glt.peers()} | set(snapshot)
+    for key in sorted(peers):
+        state = snapshot.get(key, {})
+        breaker_state = str(state.get("state", "closed"))
+        trips = int(state.get("trips", 0) or 0)
+        fails = max(int(state.get("consecutive_failures", 0) or 0),
+                    engine.health.failures(key))
+        last = state.get("last_success")
+        if last is None:
+            last = engine.health.last_success(key)
+        last_text = "never" if last is None else f"{max(0.0, now - last):.1f}s"
+        retry_at = float(state.get("retry_at", 0.0) or 0.0)
+        retry_text = (f"{max(0.0, retry_at - now):.2f}s"
+                      if breaker_state == "open" else "-")
+        row = None
+        try:
+            row = engine.glt.get(Location.parse(key))
+        except ValueError:
+            pass
+        if row is None or row.timestamp == float("-inf"):
+            age_text = "no-row"
+        else:
+            age_text = f"{max(0.0, now - row.timestamp):.1f}s"
+        lines.append(f"{key:<24} {breaker_state:>10} {trips:>6} {fails:>6} "
+                     f"{last_text:>14} {retry_text:>9} {age_text:>10}")
+    total = breaker.total_trips() if breaker is not None else 0
+    lines.append("")
+    lines.append(f"breaker trips (lifetime) {total}")
+    lines.append(f"suspects {' '.join(engine.health.suspects()) or '-'}")
+    return "\n".join(lines) + "\n"
+
+
 def render_events(engine, limit: int = 50) -> str:
     """The event-log tail plus lifetime counts."""
     counts = engine.log.counts()
@@ -126,6 +175,7 @@ ENDPOINTS = {
     "status": render_status,
     "graph": render_graph,
     "load": render_load_table,
+    "peers": render_peers,
     "events": render_events,
     "caches": render_caches,
     "health": render_health,

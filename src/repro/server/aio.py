@@ -51,8 +51,9 @@ import socket
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Deque, Dict, Optional
+from typing import Callable, Deque, Dict, Optional, TYPE_CHECKING
 
+from repro.client.breaker import build_breaker
 from repro.client.pool import ConnectionPool
 from repro.client.realclient import http_fetch
 from repro.errors import HTTPError, ReproError
@@ -72,6 +73,9 @@ from repro.server.engine import (
     OutboundAction,
     RegenerateAndServe,
 )
+
+if TYPE_CHECKING:
+    from repro.faults import FaultPlan
 
 _RECV_CHUNK = 65536
 _MAX_REQUEST = 1024 * 1024
@@ -112,7 +116,8 @@ class AsyncDCWSServer(BlockingDirectiveMixin):
                  request_timeout: float = 10.0,
                  tick_period: float = 0.25,
                  snapshot_path: Optional[str] = None,
-                 snapshot_interval: float = 30.0) -> None:
+                 snapshot_interval: float = 30.0,
+                 faults: Optional["FaultPlan"] = None) -> None:
         self.engine = engine
         self.bind_host = bind_host or engine.location.host
         self.port = engine.location.port
@@ -129,7 +134,10 @@ class AsyncDCWSServer(BlockingDirectiveMixin):
         self._executor: Optional[ThreadPoolExecutor] = None
         self._stop = threading.Event()
         self._started = threading.Event()
-        self.pool = ConnectionPool(timeout=request_timeout)
+        self.pool = ConnectionPool(timeout=request_timeout,
+                                   breaker=build_breaker(engine.config),
+                                   faults=faults)
+        engine.breaker = self.pool.breaker
         self.connections_accepted = 0
         self.connections_shed = 0
         self._drops_recorded = 0

@@ -22,6 +22,7 @@ import socket
 import threading
 import time
 
+from repro.client.breaker import BreakerOpenError
 from repro.client.realclient import http_fetch
 from repro.errors import HTTPError
 from repro.http.messages import Response
@@ -70,15 +71,25 @@ class BlockingDirectiveMixin:
         return reply.response
 
     def _execute_pull(self, pull: PullFromHome) -> Response:
-        """Lazy migration: blocking fetch from home, outside the lock."""
+        """Lazy migration: blocking fetch from home, outside the lock.
+
+        ``home_down`` distinguishes a breaker fast-fail (the home's
+        circuit is open — degrade to 503 + Retry-After) from a fresh
+        transport failure (degrade to 302 back to home)."""
+        upstream = None
+        home_down = False
         try:
             upstream = http_fetch(pull.home, pull.request,
                                   timeout=self.request_timeout,
                                   pool=self.pool)
+        except BreakerOpenError:
+            home_down = True
         except (OSError, HTTPError):
-            upstream = None
+            pass
         with self._lock:
-            reply = self.engine.complete_pull(pull, upstream, time.monotonic())
+            reply = self.engine.complete_pull(pull, upstream,
+                                              time.monotonic(),
+                                              home_down=home_down)
         return reply.response
 
 

@@ -36,7 +36,7 @@ turn the co-op into an accidental mirror of the whole site.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, TYPE_CHECKING, Union
 
 from repro.core.config import ServerConfig
 from repro.core.consistency import DueTracker, PeerHealth
@@ -82,6 +82,9 @@ from repro.server.admin import ADMIN_PREFIX, HEALTH_PATH
 from repro.server.cache import CachedResponse, CachingStore, ResponseCache
 from repro.server.entrygate import COOKIE_NAME, EntryGate
 from repro.server.filestore import DocumentStore, MemoryStore, guess_content_type
+
+if TYPE_CHECKING:
+    from repro.client.breaker import CircuitBreaker
 
 VERSION_HEADER = "X-DCWS-Version"
 PURPOSE_HEADER = "X-DCWS-Purpose"
@@ -203,8 +206,10 @@ class EngineStats:
     splices: int = 0           # reconstructions served by template splice
     template_builds: int = 0   # link templates built (each costs a parse)
     parses: int = 0
+    responses_503: int = 0
     pulls_started: int = 0
     pulls_completed: int = 0
+    pulls_degraded: int = 0    # failed pulls answered 302-to-home or 503
     validations: int = 0
     pings: int = 0
     migrations: int = 0
@@ -249,9 +254,14 @@ class DCWSEngine:
             location, enforce_entry_home=config.protect_entry_points)
         self.glt = GlobalLoadTable(location)
         self.policy = MigrationPolicy(config, self.graph, self.glt)
+        self.policy.peer_available = self._peer_available
         self.metrics = ServerMetrics(config.stats_interval)
         self.validation = DueTracker(config.validation_interval)
         self.health = PeerHealth(config.ping_failure_limit)
+        # Set by hosts that own a pooled transport: per-peer circuit
+        # breaker consulted for migration-target availability and
+        # surfaced by the /~dcws/peers endpoint.
+        self.breaker: Optional["CircuitBreaker"] = None
         self.hosted: Dict[str, HostedDocument] = {}
         self.stats = EngineStats()
         self.log = EventLog()
@@ -385,6 +395,9 @@ class DCWSEngine:
                 StatusCode.NOT_FOUND,
                 f"unknown admin endpoint; try {sorted(admin.ENDPOINTS)}"),
                 now, doc_name=path)
+        # Renderers are pure functions of the engine; age computations
+        # (e.g. /~dcws/peers GLT row age) read the request's clock here.
+        self._admin_now = now
         body = renderer(self).encode("latin-1", "replace")
         response = Response(status=StatusCode.OK,
                             body=b"" if request.method == "HEAD" else body)
@@ -602,8 +615,16 @@ class DCWSEngine:
         return self._finish(request, response, now, doc_name=key)
 
     def complete_pull(self, pull: PullFromHome, response: Optional[Response],
-                      now: float) -> EngineReply:
-        """Finish a lazy-migration pull: cache the bytes and serve them."""
+                      now: float, *, home_down: bool = False) -> EngineReply:
+        """Finish a lazy-migration pull: cache the bytes and serve them.
+
+        ``response=None`` means the transfer failed; the reply degrades
+        gracefully instead of erroring (302 back to the home — the client
+        may well reach it even when we cannot — or, when *home_down* says
+        the home's circuit is open, 503 + Retry-After so clients back
+        off).  Transport failures feed :attr:`health` exactly like failed
+        pings, so a dead home is declared from the data path.
+        """
         hosted = self.hosted.get(pull.key)
         if hosted is None:
             # The entry was discarded while the pull was in flight (e.g.
@@ -625,17 +646,23 @@ class DCWSEngine:
             self.stats.responses_301 += 1
             return self._finish(pull.client_request, forwarded, now,
                                 doc_name=pull.key)
-        if response is None or response.status != StatusCode.OK:
-            # Home unreachable or refused: shed the request; keep the entry
-            # so a later request retries the pull.
-            status = StatusCode.BAD_GATEWAY if response is None else response.status
-            self.log.record(now, "pull_failed", key=pull.key, status=int(status))
+        if response is None or response.status >= 500:
+            # Home unreachable, circuit open, or home erroring: degrade.
+            # The hosted entry stays so a later request retries the pull.
+            return self._degrade_pull(pull, response, now,
+                                      home_down=home_down)
+        if response.status != StatusCode.OK:
+            # The home answered with something unexpected (4xx): shed the
+            # request; keep the entry so a later request retries the pull.
+            self.log.record(now, "pull_failed", key=pull.key,
+                            status=int(response.status))
             self.stats.responses_404 += 1
             return self._finish(pull.client_request,
-                                error_response(status, "pull from home failed"),
+                                error_response(response.status,
+                                               "pull from home failed"),
                                 now, doc_name=pull.key)
         self._absorb_piggyback(response.headers)
-        self.health.record_success(str(pull.home))
+        self.health.record_success(str(pull.home), now)
         self.store.put(pull.key, response.body)
         self.response_cache.invalidate(pull.key)
         hosted.fetched = True
@@ -658,6 +685,46 @@ class DCWSEngine:
         client_response.headers.set("Content-Length", str(len(response.body)))
         self.stats.responses_200 += 1
         return self._finish(pull.client_request, client_response, now,
+                            doc_name=pull.key)
+
+    def _degrade_pull(self, pull: PullFromHome,
+                      response: Optional[Response], now: float, *,
+                      home_down: bool) -> EngineReply:
+        """Answer a failed pull without a 5xx of our own making.
+
+        Transport failure with the circuit still closed → 302 back to the
+        home (the client may reach it even when we cannot).  Circuit open
+        or home answering 5xx → 503 + Retry-After, the paper's overload
+        rule: clients back off instead of hammering a known-bad path.
+        """
+        home_key = str(pull.home)
+        status = 0 if response is None else int(response.status)
+        self.stats.pulls_degraded += 1
+        self.log.record(now, "pull_failed", key=pull.key, status=status,
+                        home=home_key)
+        if response is None and not home_down:
+            # A real transport failure we just observed (a breaker-open
+            # fast-fail never reached the wire, so it is not evidence):
+            # count it toward dead-peer declaration like a failed ping.
+            failures = self.health.record_failure(home_key)
+            if failures >= self.config.ping_failure_limit:
+                self._declare_dead(pull.home, now)
+        if home_down or response is not None:
+            reply = error_response(StatusCode.SERVICE_UNAVAILABLE,
+                                   "document temporarily unavailable")
+            reply.headers.set("Retry-After", "1")
+            self.stats.responses_503 += 1
+            self.metrics.record_drop(now)
+            self.log.record(now, "pull_degraded", key=pull.key, mode="shed")
+            return self._finish(pull.client_request, reply, now,
+                                doc_name=pull.key)
+        target = str(home_url(pull.home, pull.original))
+        reply = redirect_response(target, status=StatusCode.FOUND)
+        self.stats.responses_301 += 1
+        self.metrics.record_redirect(now)
+        self.log.record(now, "pull_degraded", key=pull.key, mode="redirect",
+                        target=target)
+        return self._finish(pull.client_request, reply, now,
                             doc_name=pull.key)
 
     # ------------------------------------------------------------------
@@ -885,10 +952,15 @@ class DCWSEngine:
         peer_key = str(action.peer)
         if response is None:
             failures = self.health.record_failure(peer_key)
+            if action.kind == "validate" and action.key in self.hosted:
+                # Transient validation failure: the stale copy keeps
+                # serving until a later validation reaches the home.
+                self.log.record(now, "validate_stale", key=action.key,
+                                peer=peer_key)
             if failures >= self.config.ping_failure_limit:
                 self._declare_dead(action.peer, now)
             return
-        self.health.record_success(peer_key)
+        self.health.record_success(peer_key, now)
         self._absorb_piggyback(response.headers)
         if action.kind == "validate" and action.key:
             self._finish_validation(action, response, now)
@@ -919,8 +991,21 @@ class DCWSEngine:
             self.response_cache.invalidate(hosted.key)
             self.validation.forget(hosted.key)
             self.hosted.pop(hosted.key, None)
+            return
         # Transient statuses (503 overload, 5xx) keep the copy; the next
         # validation interval retries.
+        if response.status >= 500:
+            self.log.record(now, "validate_stale", key=hosted.key,
+                            status=int(response.status))
+
+    def _peer_available(self, peer: Location) -> bool:
+        """Availability predicate for migration-target selection: a peer
+        suspected dead or behind an open circuit never receives new
+        migrations, re-migrations, or replicas."""
+        key = str(peer)
+        if self.health.is_dead(key):
+            return False
+        return self.breaker is None or not self.breaker.is_open(key)
 
     def _declare_dead(self, peer: Location, now: float) -> None:
         self.log.record(now, "peer_dead", peer=str(peer))
@@ -930,6 +1015,11 @@ class DCWSEngine:
             self.stats.revocations += 1
         self.glt.remove(peer)
         self.health.forget(str(peer))
+        if self.breaker is not None:
+            # Force the circuit open: traffic toward the dead peer
+            # fast-fails instead of burning timeouts, and a revived peer
+            # heals through the normal half-open probe.
+            self.breaker.trip(str(peer))
 
     # ------------------------------------------------------------------
     # Warm-state helpers (operator tooling and benchmark pre-warming)

@@ -15,10 +15,13 @@ from __future__ import annotations
 
 import os
 from abc import ABC, abstractmethod
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.errors import DocumentNotFound
 from repro.http.urls import split_path
+
+if TYPE_CHECKING:
+    from repro.faults import FaultPlan
 
 _CONTENT_TYPES: Dict[str, str] = {
     ".html": "text/html",
@@ -122,8 +125,13 @@ class DiskStore(DocumentStore):
 
     _MARKER_DIR = "_migrate_"
 
-    def __init__(self, root: str) -> None:
+    def __init__(self, root: str, *,
+                 faults: "Optional[FaultPlan]" = None) -> None:
         self.root = os.path.abspath(root)
+        # Deterministic disk-read fault injection (chaos suite); an
+        # injected OSError degrades to DocumentNotFound exactly like a
+        # genuinely unreadable file.
+        self.faults = faults
         os.makedirs(self.root, exist_ok=True)
 
     def _fs_path(self, name: str) -> str:
@@ -139,6 +147,8 @@ class DiskStore(DocumentStore):
     def get(self, name: str) -> bytes:
         path = self._fs_path(name)
         try:
+            if self.faults is not None:
+                self.faults.on_disk_read(name)
             with open(path, "rb") as handle:
                 return handle.read()
         except OSError:

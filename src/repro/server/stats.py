@@ -29,6 +29,9 @@ class ClusterSample:
     # Cumulative serve-path cache effectiveness across the cluster at
     # sample time (hits / lookups of the rendered-response caches).
     response_cache_hit_rate: float = 0.0
+    # Lifetime circuit-breaker trips (closed→open transitions) summed
+    # across every engine whose host wired a breaker up.
+    breaker_trips: int = 0
 
     @property
     def imbalance(self) -> float:
@@ -50,6 +53,7 @@ def sample_cluster(now: float, engines: Iterable[DCWSEngine]) -> ClusterSample:
     total_reconstructions = 0.0
     cache_hits = 0
     cache_lookups = 0
+    breaker_trips = 0
     per_server: Dict[str, float] = {}
     for engine in engines:
         cps = engine.metrics.cps(now)
@@ -59,6 +63,8 @@ def sample_cluster(now: float, engines: Iterable[DCWSEngine]) -> ClusterSample:
         total_reconstructions += engine.metrics.reconstructions.rate(now)
         cache_hits += engine.response_cache.stats.hits
         cache_lookups += engine.response_cache.stats.lookups
+        if engine.breaker is not None:
+            breaker_trips += engine.breaker.total_trips()
         per_server[str(engine.location)] = cps
     return ClusterSample(time=now, cps=total_cps, bps=total_bps,
                          drops_per_second=total_drops,
@@ -66,7 +72,8 @@ def sample_cluster(now: float, engines: Iterable[DCWSEngine]) -> ClusterSample:
                          reconstructions_per_second=total_reconstructions,
                          response_cache_hit_rate=(
                              cache_hits / cache_lookups if cache_lookups
-                             else 0.0))
+                             else 0.0),
+                         breaker_trips=breaker_trips)
 
 
 @dataclass

@@ -34,8 +34,9 @@ import queue
 import socket
 import threading
 import time
-from typing import List, Optional
+from typing import List, Optional, TYPE_CHECKING
 
+from repro.client.breaker import build_breaker
 from repro.client.pool import ConnectionPool
 from repro.client.realclient import http_fetch
 from repro.errors import HTTPError, ReproError
@@ -55,6 +56,9 @@ from repro.server.engine import (
     RegenerateAndServe,
 )
 
+if TYPE_CHECKING:
+    from repro.faults import FaultPlan
+
 _RECV_CHUNK = 65536
 _MAX_REQUEST = 1024 * 1024
 
@@ -67,7 +71,8 @@ class ThreadedDCWSServer(BlockingDirectiveMixin):
                  request_timeout: float = 10.0,
                  tick_period: float = 0.25,
                  snapshot_path: Optional[str] = None,
-                 snapshot_interval: float = 30.0) -> None:
+                 snapshot_interval: float = 30.0,
+                 faults: Optional["FaultPlan"] = None) -> None:
         self.engine = engine
         self.bind_host = bind_host or engine.location.host
         self.port = engine.location.port
@@ -85,8 +90,12 @@ class ThreadedDCWSServer(BlockingDirectiveMixin):
             maxsize=engine.config.socket_queue_length)
         self._stop = threading.Event()
         self._started = threading.Event()
-        # Persistent channels for server-to-server transfers.
-        self.pool = ConnectionPool(timeout=request_timeout)
+        # Persistent channels for server-to-server transfers, with the
+        # per-peer circuit breaker and (chaos runs) fault injection.
+        self.pool = ConnectionPool(timeout=request_timeout,
+                                   breaker=build_breaker(engine.config),
+                                   faults=faults)
+        engine.breaker = self.pool.breaker
         # Accepted-connection counter (front-end thread only); tests use it
         # to prove keep-alive (requests served >> connections accepted).
         self.connections_accepted = 0

@@ -25,8 +25,9 @@ from repro.http.urls import URL
 from repro.server.engine import DCWSEngine
 from repro.server.filestore import MemoryStore
 from repro.server.stats import TimeSeries, sample_cluster
+from repro.faults import FaultPlan
 from repro.sim.events import EventLoop
-from repro.sim.network import BandwidthLink, CostModel, PAPER_COSTS
+from repro.sim.network import BandwidthLink, CostModel, FaultyTransport, PAPER_COSTS
 from repro.sim.simclient import SimClient
 from repro.sim.simserver import QueuedServer, SimServer
 
@@ -70,6 +71,10 @@ class ClusterConfig:
     # (CostModel.keepalive_overhead_bytes).  Shorthand for passing a
     # CostModel with keep_alive=True.
     keep_alive: bool = False
+    # Deterministic fault injection on server-to-server transfers: the
+    # same seeded FaultPlan the real transports consume, adapted to
+    # virtual time by repro.sim.network.FaultyTransport.
+    faults: Optional[FaultPlan] = None
 
     def effective_tick_period(self) -> float:
         if self.tick_period is not None:
@@ -131,6 +136,12 @@ class SimCluster:
         self.switch = BandwidthLink(config.costs.switch_bandwidth, "switch")
         self.locations = [Location(f"{config.host_prefix}{i}", 80)
                           for i in range(config.servers)]
+        self.fault_transport: Optional[FaultyTransport] = None
+        if config.faults is not None:
+            self.fault_transport = FaultyTransport(
+                config.faults,
+                request_timeout=config.costs.request_timeout,
+                link_latency=config.costs.link_latency)
         self.servers: Dict[str, SimServer] = {}
         self._build_servers()
         self.entry_urls = self._entry_urls()
@@ -200,9 +211,17 @@ class SimCluster:
             self.loop.schedule_after(self.config.costs.request_timeout,
                                      lambda: on_response(None))
             return
+        extra_delay = 0.0
+        if self.fault_transport is not None:
+            fail_after, extra_delay = self.fault_transport.intercept(
+                str(destination))
+            if fail_after is not None:
+                self.loop.schedule_after(fail_after,
+                                         lambda: on_response(None))
+                return
         __, send_end = source.nic.reserve_bytes(
             self.loop.now, self.config.costs.request_bytes)
-        arrival = send_end + self.config.costs.link_latency
+        arrival = send_end + self.config.costs.link_latency + extra_delay
         self.loop.schedule(arrival,
                            lambda: target.deliver(request, on_response))
 

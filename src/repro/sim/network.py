@@ -25,9 +25,12 @@ Calibration (``CostModel`` defaults) targets the paper's absolute scale on
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple, TYPE_CHECKING
 
 from repro.errors import SimulationError
+
+if TYPE_CHECKING:
+    from repro.faults import FaultPlan
 
 
 class Serializer:
@@ -152,3 +155,41 @@ class CostModel:
 
 #: The default, paper-calibrated cost model.
 PAPER_COSTS = CostModel()
+
+
+class FaultyTransport:
+    """Adapter between a :class:`repro.faults.FaultPlan` and virtual time.
+
+    The simulator has no sockets to refuse or reset, so an injected fault
+    becomes *when the sender observes failure*: refused/reset/truncated
+    transfers fail after one link latency (the peer answered the attempt
+    immediately), a blackholed peer burns the full request timeout (the
+    partition swallows the packets), and a delay stretches the transfer.
+    One consult per transfer in connect-then-exchange order, mirroring the
+    real socket path, so a seed's schedule lines up across transports.
+    """
+
+    def __init__(self, plan: "FaultPlan", *, request_timeout: float,
+                 link_latency: float) -> None:
+        self.plan = plan
+        self.request_timeout = request_timeout
+        self.link_latency = link_latency
+
+    def intercept(self, peer: str) -> Tuple[Optional[float], float]:
+        """Consult the plan for one transfer toward *peer*.
+
+        Returns ``(fail_after, extra_delay)``: ``fail_after=None`` lets
+        the transfer proceed (``extra_delay`` added to its latency);
+        otherwise the sender must observe failure after ``fail_after``
+        virtual seconds.
+        """
+        event = self.plan.decide("connect", peer)
+        if event is None:
+            event = self.plan.decide("exchange", peer)
+        if event is None:
+            return None, 0.0
+        if event.kind == "delay":
+            return None, event.delay
+        if event.kind == "blackhole":
+            return self.request_timeout, 0.0
+        return self.link_latency, 0.0

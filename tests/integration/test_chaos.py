@@ -1,0 +1,288 @@
+"""Chaos suite: crash, partition, and restart a real cluster under load.
+
+Three scenarios from the failure model (DESIGN.md):
+
+1. A co-op process is SIGKILLed mid-crawl.  The home's pinger (fed by
+   the data path too) must declare it dead, revoke its migrations, and
+   re-home the links — after the convergence window every document is
+   served again with zero 5xx and zero lost documents.
+2. The home is partitioned away from a co-op (deterministic blackhole
+   via a FaultPlan).  The co-op keeps serving its stale copies, degrades
+   failed new pulls to 302-back-to-home while its breaker is closed and
+   to 503 + Retry-After once it opens, and heals through a half-open
+   probe when the partition lifts.
+3. The home restarts from its snapshot while walkers keep crawling; no
+   migration state is lost across the restart.
+
+Failures are injected with seeded plans or real signals; the driving
+seed is printed so a failing run can be replayed (`REPRO_FAULT_SEED`).
+"""
+
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.client.realclient import fetch_url, http_fetch
+from repro.client.walker import RandomWalker
+from repro.core.config import ServerConfig
+from repro.core.document import Location
+from repro.faults import FaultPlan
+from repro.http.messages import Request
+from repro.http.urls import URL
+from repro.server.engine import DCWSEngine
+from repro.server.filestore import MemoryStore
+from repro.server.threaded import ThreadedDCWSServer
+
+SEED = int(os.environ.get("REPRO_FAULT_SEED", "0"))
+
+SITE = {
+    "/index.html": b'<html><a href="d.html">D</a><a href="e.html">E</a></html>',
+    "/d.html": b'<html><a href="e.html">E</a></html>',
+    "/e.html": b"<html>leaf</html>",
+}
+
+#: Stand-alone co-op process for the SIGKILL scenario: starts a real
+#: threaded server, prints READY, then idles until killed.
+COOP_SCRIPT = """\
+import sys, time
+from repro.core.config import ServerConfig
+from repro.core.document import Location
+from repro.server.engine import DCWSEngine
+from repro.server.filestore import MemoryStore
+from repro.server.threaded import ThreadedDCWSServer
+
+coop_port, home_port = int(sys.argv[1]), int(sys.argv[2])
+config = ServerConfig(stats_interval=60.0, pinger_interval=60.0)
+engine = DCWSEngine(Location("127.0.0.1", coop_port), config, MemoryStore(),
+                    peers=[Location("127.0.0.1", home_port)])
+server = ThreadedDCWSServer(engine, tick_period=0.1)
+server.start()
+print("READY", flush=True)
+while True:
+    time.sleep(1.0)
+"""
+
+
+def free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def capped_sleep(seconds: float) -> None:
+    """Walker backoff with real (but bounded) waiting."""
+    time.sleep(min(seconds, 0.05))
+
+
+def crawl(port: int, *, walkers: int = 3, sequences: int = 8):
+    """Run *walkers* concurrent random walks against 127.0.0.1:*port*;
+    returns (threads, stats-list).  Transport failures are tolerated —
+    chaos is the point — so walkers retry briefly and move on."""
+    stats, threads = [], []
+
+    def one(seed: int) -> None:
+        walker = RandomWalker([f"http://127.0.0.1:{port}/index.html"],
+                              lambda url: fetch_url(url, timeout=2.0),
+                              seed=SEED + seed, sleep=capped_sleep,
+                              min_steps=2, max_steps=4,
+                              max_transport_retries=1)
+        walker.run(sequences=sequences)
+        stats.append(walker.stats)
+
+    for i in range(walkers):
+        thread = threading.Thread(target=one, args=(i,), daemon=True)
+        thread.start()
+        threads.append(thread)
+    return threads, stats
+
+
+def wait_until(predicate, deadline: float, message: str) -> None:
+    end = time.time() + deadline
+    while time.time() < end:
+        if predicate():
+            return
+        time.sleep(0.05)
+    pytest.fail(f"{message} (seed={SEED})")
+
+
+class TestCoopCrash:
+    def test_sigkill_coop_converges(self, tmp_path):
+        home_port, coop_port = free_port(), free_port()
+        coop_loc = Location("127.0.0.1", coop_port)
+        config = ServerConfig(stats_interval=60.0, pinger_interval=0.3,
+                              ping_failure_limit=2,
+                              breaker_reset_timeout=0.2)
+        engine = DCWSEngine(Location("127.0.0.1", home_port), config,
+                            MemoryStore(SITE), entry_points=["/index.html"],
+                            peers=[coop_loc])
+        home = ThreadedDCWSServer(engine, tick_period=0.1)
+        home.start()
+
+        script = tmp_path / "coop.py"
+        script.write_text(COOP_SCRIPT)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        proc = subprocess.Popen(
+            [sys.executable, str(script), str(coop_port), str(home_port)],
+            env=env, stdout=subprocess.PIPE, text=True)
+        try:
+            assert proc.stdout.readline().strip() == "READY"
+            with home._lock:
+                home.engine.policy.force_migrate("/d.html", coop_loc,
+                                                 time.monotonic())
+            # Warm the co-op: the redirect chain pulls /d.html over TCP.
+            outcome = fetch_url(URL("127.0.0.1", home_port, "/d.html"))
+            assert outcome.status == 200 and outcome.redirected
+
+            threads, __ = crawl(home_port)
+            time.sleep(0.3)
+            proc.kill()  # SIGKILL: no goodbye, no FIN from the engine
+            proc.wait(timeout=10)
+
+            wait_until(lambda: home.engine.log.count("peer_dead") >= 1,
+                       10.0, "home never declared the killed co-op dead")
+            wait_until(
+                lambda: not home.engine.policy.migrated_names(),
+                10.0, "migrations to the dead co-op were never revoked")
+            for thread in threads:
+                thread.join(timeout=30)
+            assert home.engine.stats.revocations >= 1
+
+            # Converged: every document serves again, zero 5xx, nothing
+            # redirects into the dead peer — no documents were lost.
+            for __ in range(3):
+                for name in SITE:
+                    outcome = fetch_url(
+                        URL("127.0.0.1", home_port, name), timeout=2.0)
+                    assert outcome.status == 200, \
+                        f"{name} -> {outcome.status} (seed={SEED})"
+                    assert not outcome.redirected
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+            home.stop()
+
+
+class TestPartition:
+    def test_partitioned_home_degrades_then_heals(self):
+        home_port, coop_port = free_port(), free_port()
+        home_loc = Location("127.0.0.1", home_port)
+        coop_loc = Location("127.0.0.1", coop_port)
+        config = ServerConfig(stats_interval=60.0, pinger_interval=60.0,
+                              validation_interval=60.0,
+                              ping_failure_limit=5,
+                              breaker_failure_threshold=2,
+                              breaker_reset_timeout=0.2,
+                              breaker_jitter=0.0)
+        home_engine = DCWSEngine(home_loc, config, MemoryStore(SITE),
+                                 entry_points=["/index.html"],
+                                 peers=[coop_loc])
+        coop_engine = DCWSEngine(coop_loc, config, MemoryStore(),
+                                 peers=[home_loc])
+        plan = FaultPlan(seed=SEED)
+        home = ThreadedDCWSServer(home_engine, tick_period=0.1)
+        coop = ThreadedDCWSServer(coop_engine, tick_period=0.1, faults=plan)
+        home.start()
+        coop.start()
+        home_key = f"127.0.0.1:{home_port}"
+        key_d = f"/~migrate/127.0.0.1/{home_port}/d.html"
+        key_e = f"/~migrate/127.0.0.1/{home_port}/e.html"
+        try:
+            with home._lock:
+                home.engine.policy.force_migrate("/d.html", coop_loc,
+                                                 time.monotonic())
+                home.engine.policy.force_migrate("/e.html", coop_loc,
+                                                 time.monotonic())
+            # Warm pull of /d.html only; /e.html stays unfetched.
+            assert fetch_url(URL("127.0.0.1", home_port, "/d.html")).status \
+                == 200
+
+            plan.block(home_key)  # the co-op can no longer reach home
+
+            # Stale copy: still served from the hosted cache.
+            assert http_fetch(coop_loc,
+                              Request("GET", key_d)).status == 200
+            # New pull fails; breaker still closed -> bounce to home.
+            for __ in range(2):
+                reply = http_fetch(coop_loc, Request("GET", key_e))
+                assert reply.status == 302, f"seed={SEED}"
+                assert reply.headers.get("Location") == \
+                    f"http://127.0.0.1:{home_port}/e.html"
+            # Threshold reached: the breaker is open, shed with a hint.
+            reply = http_fetch(coop_loc, Request("GET", key_e))
+            assert reply.status == 503
+            assert reply.headers.get("Retry-After") == "1"
+            assert coop.engine.stats.pulls_degraded == 3
+            assert coop.engine.stats.responses_503 == 1
+
+            plan.unblock(home_key)
+            time.sleep(0.25)  # past the breaker's backoff window
+            # Half-open probe admits the pull; the circuit closes.
+            assert http_fetch(coop_loc, Request("GET", key_e)).status == 200
+            assert coop.engine.hosted[key_e].fetched
+        finally:
+            coop.stop()
+            home.stop()
+
+
+class TestRestartUnderLoad:
+    def test_snapshot_restart_keeps_migrations(self, tmp_path):
+        home_port, coop_port = free_port(), free_port()
+        home_loc = Location("127.0.0.1", home_port)
+        coop_loc = Location("127.0.0.1", coop_port)
+        snapshot = str(tmp_path / "home.snapshot")
+        store = MemoryStore(SITE)  # survives the restart (same "disk")
+        config = ServerConfig(stats_interval=60.0, pinger_interval=60.0)
+        coop_engine = DCWSEngine(coop_loc, config, MemoryStore(),
+                                 peers=[home_loc])
+        coop = ThreadedDCWSServer(coop_engine, tick_period=0.1)
+        coop.start()
+
+        def make_home():
+            engine = DCWSEngine(home_loc, config, store,
+                                entry_points=["/index.html"],
+                                peers=[coop_loc])
+            return ThreadedDCWSServer(engine, tick_period=0.1,
+                                      snapshot_path=snapshot)
+
+        first = make_home()
+        first.start()
+        second = None
+        try:
+            with first._lock:
+                first.engine.policy.force_migrate("/d.html", coop_loc,
+                                                  time.monotonic())
+            assert fetch_url(URL("127.0.0.1", home_port, "/d.html")).status \
+                == 200
+            threads, stats = crawl(home_port, sequences=12)
+            time.sleep(0.2)
+            first.stop()  # mid-crawl restart; stop() writes the snapshot
+            second = make_home()
+            second.start()
+            for thread in threads:
+                thread.join(timeout=30)
+
+            with second._lock:
+                assert second.engine.policy.migrated_names() == ["/d.html"]
+            reply = fetch_url(URL("127.0.0.1", home_port, "/d.html"),
+                              max_redirects=0)
+            assert reply.status == 301  # migration survived the restart
+            for name in SITE:
+                assert fetch_url(
+                    URL("127.0.0.1", home_port, name)).status == 200
+            # Walkers rode through the restart: they made progress and
+            # the blip shows up as bounded transport retries, not a hang.
+            assert sum(s.sequences for s in stats) == 36
+        finally:
+            if second is not None:
+                second.stop()
+            first.stop()
+            coop.stop()

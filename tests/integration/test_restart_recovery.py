@@ -3,10 +3,13 @@
 import socket
 import time
 
+import pytest
+
 from repro.client.realclient import fetch_url
 from repro.core.config import ServerConfig
 from repro.core.document import Location
 from repro.http.urls import URL
+from repro.server.aio import AsyncDCWSServer
 from repro.server.engine import DCWSEngine
 from repro.server.filestore import MemoryStore
 from repro.server.threaded import ThreadedDCWSServer
@@ -16,6 +19,13 @@ SITE = {
     "/d.html": b"<html>doc</html>",
 }
 
+#: Both socket front ends host the same engine and the same persistence
+#: hooks; restart recovery must hold for each.
+FRONT_ENDS = [
+    pytest.param(ThreadedDCWSServer, id="threaded"),
+    pytest.param(AsyncDCWSServer, id="aio"),
+]
+
 
 def free_port() -> int:
     with socket.socket() as probe:
@@ -23,7 +33,8 @@ def free_port() -> int:
         return probe.getsockname()[1]
 
 
-def test_restart_preserves_redirects(tmp_path):
+@pytest.mark.parametrize("server_class", FRONT_ENDS)
+def test_restart_preserves_redirects(tmp_path, server_class):
     port = free_port()
     coop = Location("127.0.0.1", free_port())
     snapshot = str(tmp_path / "home.snapshot")
@@ -33,8 +44,8 @@ def test_restart_preserves_redirects(tmp_path):
     def make_server():
         engine = DCWSEngine(Location("127.0.0.1", port), config, store,
                             entry_points=["/index.html"], peers=[coop])
-        return ThreadedDCWSServer(engine, snapshot_path=snapshot,
-                                  tick_period=0.1)
+        return server_class(engine, snapshot_path=snapshot,
+                            tick_period=0.1)
 
     first = make_server()
     first.start()

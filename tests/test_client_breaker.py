@@ -1,0 +1,194 @@
+"""Per-peer circuit breaker: state machine, backoff, probe budget."""
+
+import pytest
+
+from repro.client.breaker import (
+    BreakerOpenError,
+    CLOSED,
+    CircuitBreaker,
+    HALF_OPEN,
+    OPEN,
+    build_breaker,
+)
+from repro.core.config import ServerConfig
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_breaker(**kwargs) -> "tuple[CircuitBreaker, FakeClock]":
+    clock = FakeClock()
+    defaults = dict(failure_threshold=3, reset_timeout=1.0,
+                    max_reset_timeout=8.0, jitter=0.0, clock=clock)
+    defaults.update(kwargs)
+    return CircuitBreaker(**defaults), clock
+
+
+def trip(breaker: CircuitBreaker, peer: str = "p:80",
+         times: int = 3) -> None:
+    for __ in range(times):
+        breaker.check(peer)
+        breaker.record_failure(peer)
+
+
+class TestStateMachine:
+    def test_unknown_peer_is_closed(self):
+        breaker, __ = make_breaker()
+        assert breaker.state("p:80") == CLOSED
+        breaker.check("p:80")  # admits
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker, __ = make_breaker()
+        trip(breaker, times=2)
+        assert breaker.state("p:80") == CLOSED
+        trip(breaker, times=1)
+        assert breaker.state("p:80") == OPEN
+        with pytest.raises(BreakerOpenError):
+            breaker.check("p:80")
+
+    def test_success_resets_the_failure_count(self):
+        breaker, __ = make_breaker()
+        trip(breaker, times=2)
+        breaker.record_success("p:80")
+        trip(breaker, times=2)
+        assert breaker.state("p:80") == CLOSED
+
+    def test_open_error_is_a_connection_error(self):
+        breaker, __ = make_breaker()
+        trip(breaker)
+        try:
+            breaker.check("p:80")
+        except OSError as exc:  # every peer-failure handler catches it
+            assert isinstance(exc, BreakerOpenError)
+            assert exc.peer == "p:80"
+            assert exc.retry_after > 0
+        else:
+            pytest.fail("expected BreakerOpenError")
+
+    def test_half_open_after_backoff_then_closes_on_success(self):
+        breaker, clock = make_breaker()
+        trip(breaker)
+        clock.advance(1.01)
+        breaker.check("p:80")  # admitted as a probe
+        assert breaker.state("p:80") == HALF_OPEN
+        breaker.record_success("p:80")
+        assert breaker.state("p:80") == CLOSED
+
+    def test_half_open_probe_failure_reopens_with_doubled_backoff(self):
+        breaker, clock = make_breaker()
+        trip(breaker)
+        clock.advance(1.01)
+        breaker.check("p:80")
+        breaker.record_failure("p:80")
+        assert breaker.state("p:80") == OPEN
+        # Second open: backoff doubles to 2 s.
+        clock.advance(1.5)
+        with pytest.raises(BreakerOpenError):
+            breaker.check("p:80")
+        clock.advance(0.6)
+        breaker.check("p:80")  # 2.1 s elapsed: admitted
+
+    def test_backoff_caps_at_max_reset_timeout(self):
+        breaker, clock = make_breaker(failure_threshold=1)
+        for __ in range(10):
+            clock.advance(100.0)
+            breaker.check("p:80")  # half-open probe (closed on round one)
+            breaker.record_failure("p:80")
+        snapshot = breaker.snapshot()["p:80"]
+        assert snapshot["retry_at"] - clock.now == pytest.approx(8.0)
+
+    def test_half_open_probe_budget_bounds_concurrent_probes(self):
+        breaker, clock = make_breaker(half_open_probes=1)
+        trip(breaker)
+        clock.advance(1.01)
+        breaker.check("p:80")  # first probe admitted
+        with pytest.raises(BreakerOpenError):
+            breaker.check("p:80")  # budget exhausted until it resolves
+        breaker.record_success("p:80")
+        breaker.check("p:80")  # closed again
+
+    def test_peers_are_independent(self):
+        breaker, __ = make_breaker()
+        trip(breaker, peer="a:80")
+        breaker.check("b:80")  # unaffected
+
+    def test_jitter_stays_within_bounds(self):
+        breaker, clock = make_breaker(jitter=0.5, seed=7)
+        trip(breaker)
+        retry_at = breaker.snapshot()["p:80"]["retry_at"]
+        assert 1.0 <= retry_at <= 1.5 + 1e-9
+
+
+class TestIntrospection:
+    def test_is_open_only_inside_backoff_window(self):
+        breaker, clock = make_breaker()
+        trip(breaker)
+        assert breaker.is_open("p:80")
+        clock.advance(1.01)
+        # Past retry_at: the peer is half-open-able, not excluded.
+        assert not breaker.is_open("p:80")
+
+    def test_total_trips_counts_closed_to_open_transitions(self):
+        breaker, clock = make_breaker()
+        trip(breaker)
+        assert breaker.total_trips() == 1
+        clock.advance(1.01)
+        breaker.check("p:80")
+        breaker.record_failure("p:80")  # half-open -> open again
+        assert breaker.total_trips() == 2
+
+    def test_snapshot_shape(self):
+        breaker, __ = make_breaker()
+        trip(breaker, times=1)
+        breaker.record_success("p:80")
+        snap = breaker.snapshot()["p:80"]
+        assert snap["state"] == CLOSED
+        assert snap["consecutive_failures"] == 0
+        assert snap["last_success"] is not None
+
+    def test_forget_drops_the_peer(self):
+        breaker, __ = make_breaker()
+        trip(breaker)
+        breaker.forget("p:80")
+        assert breaker.state("p:80") == CLOSED
+
+    def test_forced_trip_opens_and_heals_normally(self):
+        breaker, clock = make_breaker()
+        breaker.trip("p:80")  # out-of-band death declaration
+        assert breaker.state("p:80") == OPEN
+        assert breaker.total_trips() == 1
+        with pytest.raises(BreakerOpenError):
+            breaker.check("p:80")
+        clock.advance(1.01)
+        breaker.check("p:80")  # half-open probe admitted
+        breaker.record_success("p:80")
+        assert breaker.state("p:80") == CLOSED
+
+
+class TestBuildBreaker:
+    def test_from_config_defaults(self):
+        breaker = build_breaker(ServerConfig())
+        assert isinstance(breaker, CircuitBreaker)
+        assert breaker.failure_threshold == \
+            ServerConfig().breaker_failure_threshold
+
+    def test_disabled_by_config(self):
+        assert build_breaker(ServerConfig(circuit_breaker=False)) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout=2.0, max_reset_timeout=1.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_probes=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(jitter=-0.1)

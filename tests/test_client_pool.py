@@ -1,10 +1,19 @@
 """ConnectionPool: persistent per-peer channels for server-to-server HTTP."""
 
 import socket
+import time
 
 import pytest
 
+from repro.client.breaker import (
+    BreakerOpenError,
+    CLOSED,
+    CircuitBreaker,
+    OPEN,
+)
 from repro.client.pool import ConnectionPool, _Channel
+from repro.errors import HTTPError
+from repro.faults import FaultPlan, FaultRule
 from repro.core.config import ServerConfig
 from repro.core.document import Location
 from repro.http.messages import Request
@@ -142,3 +151,82 @@ def test_unreachable_peer_raises():
     with ConnectionPool(timeout=0.5) as pool:
         with pytest.raises(OSError):
             pool.fetch(dead, Request(method="GET", target="/a.html"))
+
+
+def test_non_idempotent_request_not_replayed_on_stale_channel(server):
+    """A POST whose exchange dies on a previously-idle channel must raise,
+    not silently replay: the peer may already have executed it."""
+    peer = Location("127.0.0.1", server.port)
+    with ConnectionPool() as pool:
+        assert get(pool, server).status == 200
+        for idle in pool._idle.values():
+            for channel in idle:
+                channel.sock.close()
+        with pytest.raises((OSError, HTTPError)):
+            pool.fetch(peer, Request(method="POST", target="/a.html"))
+        assert pool.evictions == 1
+        assert pool.opens == 1  # no second connection was attempted
+
+
+def test_breaker_opens_and_fastfails_toward_dead_peer():
+    dead = Location("127.0.0.1", free_port())
+    breaker = CircuitBreaker(failure_threshold=2, reset_timeout=60.0,
+                             max_reset_timeout=60.0, jitter=0.0)
+    with ConnectionPool(timeout=0.5, breaker=breaker) as pool:
+        for __ in range(2):
+            with pytest.raises(OSError):
+                pool.fetch(dead, Request(method="GET", target="/a.html"))
+        assert breaker.state(str(dead)) == OPEN
+        # The third fetch never touches the network.
+        with pytest.raises(BreakerOpenError):
+            pool.fetch(dead, Request(method="GET", target="/a.html"))
+        assert pool.breaker_fastfails == 1
+        assert pool.opens == 0  # create_connection always failed/skipped
+
+
+def test_breaker_recovers_through_half_open_probe(server):
+    plan = FaultPlan([FaultRule(kind="connect_refused", max_injections=2)])
+    breaker = CircuitBreaker(failure_threshold=2, reset_timeout=0.05,
+                             jitter=0.0)
+    peer = Location("127.0.0.1", server.port)
+    with ConnectionPool(breaker=breaker, faults=plan) as pool:
+        for __ in range(2):
+            with pytest.raises(ConnectionRefusedError):
+                get(pool, server)
+        assert breaker.is_open(str(peer))
+        time.sleep(0.06)
+        # Past the backoff window the probe is admitted, succeeds (the
+        # fault rule is exhausted), and closes the breaker.
+        assert get(pool, server).status == 200
+        assert breaker.state(str(peer)) == CLOSED
+
+
+def test_injected_connect_refused_surfaces_then_clears(server):
+    plan = FaultPlan([FaultRule(kind="connect_refused", max_injections=1)])
+    with ConnectionPool(faults=plan) as pool:
+        with pytest.raises(ConnectionRefusedError):
+            get(pool, server)
+        assert get(pool, server).status == 200
+        assert [event.kind for event in plan.injected] == ["connect_refused"]
+
+
+def test_injected_reset_on_reused_channel_replayed_for_get(server):
+    plan = FaultPlan([FaultRule(kind="reset", skip_first=1,
+                                max_injections=1)])
+    with ConnectionPool(faults=plan) as pool:
+        assert get(pool, server).status == 200
+        # The reused channel takes the reset; GET is replayed on a fresh
+        # connection and the caller never sees the fault.
+        assert get(pool, server).status == 200
+        assert pool.evictions == 1
+        assert pool.opens == 2
+
+
+def test_injected_reset_on_reused_channel_raises_for_post(server):
+    plan = FaultPlan([FaultRule(kind="reset", skip_first=1)])
+    peer = Location("127.0.0.1", server.port)
+    with ConnectionPool(faults=plan) as pool:
+        assert get(pool, server).status == 200
+        with pytest.raises(ConnectionResetError):
+            pool.fetch(peer, Request(method="POST", target="/a.html"))
+        assert pool.opens == 1

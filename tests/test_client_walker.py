@@ -61,9 +61,13 @@ class FakeSite:
         }
         self.requests = []
         self.drop_next = 0
+        self.refuse_next = 0
 
     def fetch(self, url: URL) -> FetchOutcome:
         self.requests.append(str(url))
+        if self.refuse_next > 0:
+            self.refuse_next -= 1
+            raise ConnectionRefusedError("injected")
         if self.drop_next > 0:
             self.drop_next -= 1
             return FetchOutcome(status=503)
@@ -147,3 +151,38 @@ class TestWalker:
                               sleep=lambda s: None)
         walker.run_sequence()
         assert walker.stats.errors == 1
+
+    def test_transport_failure_backs_off_then_recovers(self):
+        site = FakeSite()
+        site.refuse_next = 2
+        slept = []
+        walker = make_walker(site, sleep=slept.append)
+        walker.run_sequence()
+        # Same capped exponential backoff schedule as 503 drops.
+        assert slept[:2] == [1.0, 2.0]
+        assert walker.stats.transport_failures == 2
+        assert walker.stats.transport_retries == 2
+        assert walker.stats.errors == 0
+        assert walker.stats.sequences == 1
+
+    def test_transport_retries_are_bounded(self):
+        site = FakeSite()
+        site.refuse_next = 50  # never recovers within the retry budget
+        walker = make_walker(site, max_transport_retries=2)
+        walker.run_sequence()
+        # One initial attempt plus two retries, then the fetch is dropped
+        # and counted as an error (the walk moves on, no crash).
+        assert walker.stats.transport_failures == 3
+        assert walker.stats.transport_retries == 2
+        assert walker.stats.errors == 1
+
+    def test_transport_success_resets_backoff(self):
+        site = FakeSite()
+        site.refuse_next = 1
+        slept = []
+        walker = make_walker(site, sleep=slept.append)
+        walker.run_sequence()
+        site.refuse_next = 1
+        walker.run_sequence()
+        # Each recovery reset the schedule: both retries waited the base.
+        assert slept == [1.0, 1.0]

@@ -1,0 +1,184 @@
+"""Deterministic fault injection: rules, hooks, and seed reproducibility."""
+
+import socket
+
+import pytest
+
+from repro.errors import ConfigError, HTTPError
+from repro.faults import (
+    FaultEvent,
+    FaultPlan,
+    FaultRule,
+    InjectedConnectRefused,
+    InjectedDiskError,
+    InjectedReset,
+    InjectedTimeout,
+    InjectedTruncation,
+)
+
+
+class TestFaultRule:
+    def test_kind_implies_site(self):
+        assert FaultRule(kind="connect_refused").site == "connect"
+        assert FaultRule(kind="reset").site == "exchange"
+        assert FaultRule(kind="disk_error").site == "disk"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultRule(kind="meteor_strike")
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultRule(kind="reset", site="carrier_pigeon")
+
+    def test_probability_bounds(self):
+        with pytest.raises(ConfigError):
+            FaultRule(kind="reset", probability=1.5)
+
+    def test_peer_filter(self):
+        rule = FaultRule(kind="reset", peer="h:80")
+        assert rule.matches_target("exchange", "h:80")
+        assert not rule.matches_target("exchange", "other:80")
+        assert not rule.matches_target("connect", "h:80")
+
+    def test_disk_rules_match_on_name(self):
+        rule = FaultRule(kind="disk_error", name="/a.html")
+        assert rule.matches_target("disk", "/a.html")
+        assert not rule.matches_target("disk", "/b.html")
+
+
+class TestInjection:
+    def test_connect_refused_is_a_real_connection_error(self):
+        plan = FaultPlan([FaultRule(kind="connect_refused")])
+        with pytest.raises(ConnectionRefusedError):
+            plan.on_connect("h:80")
+        assert isinstance(InjectedConnectRefused("x"), OSError)
+
+    def test_reset_and_truncation_exchange_faults(self):
+        plan = FaultPlan([FaultRule(kind="reset", peer="a:80"),
+                          FaultRule(kind="truncate", peer="b:80")])
+        with pytest.raises(ConnectionResetError):
+            plan.on_exchange("a:80")
+        with pytest.raises(HTTPError):
+            plan.on_exchange("b:80")
+        assert isinstance(InjectedReset("x"), OSError)
+        assert isinstance(InjectedTruncation("x"), HTTPError)
+
+    def test_blackhole_raises_timeout(self):
+        plan = FaultPlan([FaultRule(kind="blackhole")])
+        with pytest.raises(socket.timeout):
+            plan.on_connect("h:80")
+        assert isinstance(InjectedTimeout("x"), OSError)
+
+    def test_disk_error(self):
+        plan = FaultPlan([FaultRule(kind="disk_error")])
+        with pytest.raises(OSError):
+            plan.on_disk_read("/a.html")
+        assert isinstance(InjectedDiskError("x"), OSError)
+
+    def test_delay_sleeps_instead_of_raising(self):
+        slept = []
+        plan = FaultPlan([FaultRule(kind="delay", delay=0.25)],
+                         sleep=slept.append)
+        plan.on_exchange("h:80")  # must not raise
+        assert slept == [0.25]
+
+    def test_skip_first_lets_early_events_through(self):
+        plan = FaultPlan([FaultRule(kind="reset", skip_first=2)])
+        plan.on_exchange("h:80")
+        plan.on_exchange("h:80")
+        with pytest.raises(ConnectionResetError):
+            plan.on_exchange("h:80")
+
+    def test_max_injections_retires_the_rule(self):
+        plan = FaultPlan([FaultRule(kind="reset", max_injections=1)])
+        with pytest.raises(ConnectionResetError):
+            plan.on_exchange("h:80")
+        plan.on_exchange("h:80")  # rule exhausted: no fault
+
+    def test_disabled_plan_is_inert(self):
+        plan = FaultPlan([FaultRule(kind="connect_refused")])
+        plan.enabled = False
+        plan.on_connect("h:80")
+        assert plan.injected == []
+
+    def test_dynamic_block_partitions_and_heals(self):
+        plan = FaultPlan()
+        plan.block("h:80")
+        with pytest.raises(socket.timeout):
+            plan.on_connect("h:80")
+        plan.on_connect("other:80")  # only the blocked peer is dark
+        plan.unblock("h:80")
+        plan.on_connect("h:80")
+        kinds = [event.kind for event in plan.injected]
+        assert kinds == ["blackhole"]
+
+
+class TestDeterminism:
+    RULES = [FaultRule(kind="reset", probability=0.4),
+             FaultRule(kind="connect_refused", probability=0.3,
+                       peer="b:80")]
+
+    @staticmethod
+    def drive(plan: FaultPlan) -> None:
+        for i in range(50):
+            target = "a:80" if i % 3 else "b:80"
+            try:
+                plan.on_connect(target)
+                plan.on_exchange(target)
+            except OSError:
+                pass
+
+    def test_same_seed_same_schedule(self):
+        first = FaultPlan(self.RULES, seed=1234)
+        second = FaultPlan(self.RULES, seed=1234)
+        self.drive(first)
+        self.drive(second)
+        assert first.injected  # the probabilities actually fired
+        assert first.schedule() == second.schedule()
+
+    def test_different_seed_different_schedule(self):
+        first = FaultPlan(self.RULES, seed=1)
+        second = FaultPlan(self.RULES, seed=2)
+        self.drive(first)
+        self.drive(second)
+        assert first.schedule() != second.schedule()
+
+    def test_events_are_indexed_in_order(self):
+        plan = FaultPlan([FaultRule(kind="reset")])
+        for __ in range(3):
+            with pytest.raises(ConnectionResetError):
+                plan.on_exchange("h:80")
+        assert [event.index for event in plan.injected] == [0, 1, 2]
+        assert all(isinstance(event, FaultEvent)
+                   for event in plan.injected)
+
+    def test_from_env_reads_seed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_SEED", "77")
+        plan = FaultPlan.from_env()
+        assert plan.seed == 77
+        monkeypatch.delenv("REPRO_FAULT_SEED")
+        assert FaultPlan.from_env().seed == 0
+
+
+class TestSimDeterminism:
+    """The same seed yields the same fault schedule in the simulator."""
+
+    @staticmethod
+    def run_sim(seed: int):
+        from repro.core.config import ServerConfig
+        from repro.datasets.synthetic import build_synthetic_site
+        from repro.sim.cluster import ClusterConfig, SimCluster
+
+        plan = FaultPlan([FaultRule(kind="reset", probability=0.5)],
+                         seed=seed)
+        site = build_synthetic_site(pages=20, images=8, fanout=4, seed=5)
+        config = ClusterConfig(servers=2, clients=6, duration=30.0,
+                               sample_interval=10.0, seed=9,
+                               server_config=ServerConfig().scaled(0.2),
+                               faults=plan)
+        SimCluster(site, config).run()
+        return plan.schedule()
+
+    def test_sim_schedule_reproducible(self):
+        assert self.run_sim(42) == self.run_sim(42)

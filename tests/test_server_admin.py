@@ -85,6 +85,33 @@ class TestEvents:
         assert "(none)" in body
 
 
+class TestPeers:
+    def test_peers_endpoint_without_breaker(self, engine):
+        response = fetch(engine, "/~dcws/peers")
+        assert response.status == 200
+        body = response.body.decode()
+        assert "coop:8002" in body
+        assert "breaker trips (lifetime) 0" in body
+        assert "no-row" in body  # peer registered, no load report yet
+
+    def test_peers_endpoint_shows_breaker_and_health_state(self, engine):
+        from repro.client.breaker import CircuitBreaker
+
+        engine.breaker = CircuitBreaker(failure_threshold=1, jitter=0.0)
+        key = str(COOP)
+        engine.breaker.check(key)
+        engine.breaker.record_failure(key)
+        engine.health.record_failure(key)
+        body = fetch(engine, "/~dcws/peers").body.decode()
+        assert "open" in body
+        assert "breaker trips (lifetime) 1" in body
+
+    def test_peers_endpoint_shows_last_success_age(self, engine):
+        engine.health.record_success(str(COOP), 0.5)
+        body = fetch(engine, "/~dcws/peers").body.decode()
+        assert "0.5s" in body  # handled at t=1.0, success at t=0.5
+
+
 class TestDispatch:
     def test_unknown_endpoint_404(self, engine):
         response = fetch(engine, "/~dcws/nonsense")

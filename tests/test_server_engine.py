@@ -217,14 +217,53 @@ class TestCoopBehaviour:
         assert isinstance(second, EngineReply)
         assert second.response.status == 200
 
-    def test_failed_pull_returns_error_and_retries_later(self):
+    def test_failed_pull_degrades_to_redirect_and_retries_later(self):
         coop = self.coop_engine()
         pull = get(coop, "/~migrate/home/8001/d.html")
         reply = coop.complete_pull(pull, None, now=1.2)
-        assert reply.response.status == 502
+        # Graceful degradation: the client is bounced back to the home
+        # (302, not permanent) instead of receiving a 5xx of our making.
+        assert reply.response.status == 302
+        assert reply.response.headers.get("Location") == \
+            "http://home:8001/d.html"
+        assert coop.stats.pulls_degraded == 1
         # The next request pulls again.
         again = get(coop, "/~migrate/home/8001/d.html", now=1.4)
         assert isinstance(again, PullFromHome)
+
+    def test_failed_pull_with_home_down_sheds_with_retry_after(self):
+        coop = self.coop_engine()
+        pull = get(coop, "/~migrate/home/8001/d.html")
+        reply = coop.complete_pull(pull, None, now=1.2, home_down=True)
+        assert reply.response.status == 503
+        assert reply.response.headers.get("Retry-After") is not None
+        assert coop.stats.responses_503 == 1
+
+    def test_failed_pulls_feed_health_and_declare_home_dead(self):
+        coop = self.coop_engine()
+        limit = coop.config.ping_failure_limit
+        for i in range(limit):
+            pull = get(coop, "/~migrate/home/8001/d.html", now=1.0 + i)
+            assert isinstance(pull, PullFromHome)
+            coop.complete_pull(pull, None, now=1.1 + i)
+        assert coop.log.count("peer_dead") == 1
+
+    def test_dead_declaration_forces_the_breaker_open(self):
+        """Regression: declaring a peer dead used to *forget* its breaker
+        state, so data-path failures reset the trip counter every
+        ``ping_failure_limit`` failures and the circuit never opened."""
+        from repro.client.breaker import CircuitBreaker
+
+        coop = self.coop_engine()
+        coop.breaker = CircuitBreaker(failure_threshold=100, jitter=0.0,
+                                      clock=lambda: 1.0)
+        limit = coop.config.ping_failure_limit
+        for i in range(limit):
+            pull = get(coop, "/~migrate/home/8001/d.html", now=1.0 + i)
+            coop.complete_pull(pull, None, now=1.1 + i)
+        # The breaker itself never reached its own threshold, but death
+        # trips it: subsequent traffic toward home fast-fails.
+        assert coop.breaker.is_open("home:8001")
 
     def test_pull_propagates_home_404(self):
         coop = self.coop_engine()

@@ -9,7 +9,7 @@ from repro.core.config import ServerConfig
 from repro.core.document import Location
 from repro.http.messages import Request
 from repro.http.piggyback import LoadReport
-from repro.server.engine import DCWSEngine, PURPOSE_HEADER
+from repro.server.engine import DCWSEngine, PURPOSE_HEADER, PullFromHome
 from repro.server.filestore import MemoryStore
 from repro.server.persistence import (
     SnapshotError,
@@ -130,6 +130,57 @@ class TestHostedState:
         fresh.initialize(0.0)
         restore_from_file(fresh, path, now=3.0)
         assert fresh.hosted == {}
+
+
+class TestInFlightState:
+    """Snapshots taken while work is in flight must round-trip safely:
+    a crash can land between any two steps of a pull or a splice."""
+
+    def test_mid_flight_pull_restarts_as_a_fresh_pull(self, tmp_path):
+        coop = make_engine(location=COOP, site={})
+        key = "/~migrate/home/8001/d.html"
+        pull = coop.handle_request(Request("GET", key), 1.0)
+        assert isinstance(pull, PullFromHome)
+        # Crash before complete_pull: the hosted entry is unfetched.
+        path = str(tmp_path / "coop.snapshot")
+        save_snapshot(coop, path, now=1.5)
+        snapshot = load_snapshot(path)
+        assert key not in snapshot["hosted"]  # nothing durable to save
+        restarted = DCWSEngine(COOP, ServerConfig(), coop.store,
+                               peers=[HOME])
+        restarted.initialize(0.0)
+        restore_from_file(restarted, path, now=2.0)
+        # The restarted co-op re-pulls on demand instead of serving a
+        # half-transferred copy.
+        retry = restarted.handle_request(Request("GET", key), 3.0)
+        assert isinstance(retry, PullFromHome)
+
+    def test_dirty_documents_survive_restart(self):
+        original = busy_engine()
+        # Migrating /d.html dirtied its referrer (the link must be
+        # rewritten to point at the co-op).
+        assert original.graph.get("/index.html").dirty
+        snapshot = snapshot_engine(original, now=10.0)
+        restarted = make_engine()
+        restore_engine(restarted, snapshot, now=20.0)
+        assert restarted.graph.get("/index.html").dirty
+
+    def test_snapshot_with_open_breaker_round_trips(self, tmp_path):
+        from repro.client.breaker import CircuitBreaker
+
+        engine = busy_engine()
+        engine.breaker = CircuitBreaker(failure_threshold=1, jitter=0.0)
+        engine.breaker.check(str(COOP))
+        engine.breaker.record_failure(str(COOP))
+        assert engine.breaker.is_open(str(COOP))
+        path = str(tmp_path / "home.snapshot")
+        save_snapshot(engine, path, now=10.0)
+        restarted = make_engine()
+        restore_from_file(restarted, path, now=20.0)
+        # Breaker state is runtime-only: a restarted server probes its
+        # peers afresh rather than inheriting a stale open circuit.
+        assert restarted.breaker is None
+        assert restarted.policy.migrated_names() == ["/d.html"]
 
 
 class TestFileHandling:
