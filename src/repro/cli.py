@@ -44,6 +44,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--state-file", default=None,
                        help="snapshot migration state here (restored on "
                             "restart)")
+    serve.add_argument("--journal", default=None, metavar="FILE",
+                       help="write-ahead journal of every state mutation; "
+                            "with --state-file, restarts recover by "
+                            "snapshot + replay instead of snapshot alone")
+    serve.add_argument("--wal-fsync", choices=["always", "interval", "off"],
+                       default="interval",
+                       help="journal fsync policy: every record (group-"
+                            "committed), the periodic tick, or never")
     serve.add_argument("--front-end", choices=["threaded", "aio"],
                        default="threaded",
                        help="socket front end: thread-per-connection "
@@ -101,13 +109,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 1
     entries = args.entry or (["/index.html"] if "/index.html" in names else [])
     peers = [Location.parse(peer) for peer in args.peer]
+    import dataclasses
+
     config = ServerConfig().scaled(args.time_factor) \
         if args.time_factor != 1.0 else ServerConfig()
+    if getattr(args, "wal_fsync", "interval") != config.wal_fsync:
+        config = dataclasses.replace(config, wal_fsync=args.wal_fsync)
     engine = DCWSEngine(Location(args.host, args.port), config, store,
                         entry_points=entries, peers=peers)
     server_cls = (AsyncDCWSServer if getattr(args, "front_end", "threaded")
                   == "aio" else ThreadedDCWSServer)
-    server = server_cls(engine, snapshot_path=args.state_file)
+    server = server_cls(engine, snapshot_path=args.state_file,
+                        journal_path=getattr(args, "journal", None))
     server.start()
     print(f"DCWS server on http://{args.host}:{args.port} "
           f"({len(names)} documents, {len(peers)} peers, "

@@ -138,6 +138,14 @@ class ServerConfig:
     breaker_max_reset_timeout: float = 30.0
     breaker_half_open_probes: int = 1
     breaker_jitter: float = 0.1
+    # Write-ahead journal fsync discipline (repro.server.wal).
+    # ``always`` fsyncs every append (group-committed); ``interval``
+    # defers to the periodic tick, bounding loss to ``wal_fsync_interval``
+    # seconds at near-zero hot-path cost (the default); ``off`` leaves
+    # durability to the OS page cache (a crash of the *process* still
+    # loses nothing — only power loss can).
+    wal_fsync: str = "interval"
+    wal_fsync_interval: float = 0.05
 
     def __post_init__(self) -> None:
         positive = (
@@ -174,6 +182,10 @@ class ServerConfig:
                 "breaker_max_reset_timeout must be >= breaker_reset_timeout")
         if self.breaker_jitter < 0:
             raise ConfigError("breaker_jitter must be non-negative")
+        if self.wal_fsync not in ("always", "interval", "off"):
+            raise ConfigError(f"unknown wal_fsync policy: {self.wal_fsync!r}")
+        if self.wal_fsync_interval <= 0:
+            raise ConfigError("wal_fsync_interval must be positive")
 
     def scaled(self, time_factor: float) -> "ServerConfig":
         """Return a copy with every time interval multiplied by

@@ -37,6 +37,16 @@ class DueTracker:
         """Start tracking *key*; its first service is due at now+interval."""
         self._last.setdefault(key, now)
 
+    def restore(self, key: Hashable, last: float) -> None:
+        """Re-install *key* with its persisted last-serviced time.
+
+        Recovery uses this instead of :meth:`register` so a restart does
+        not silently push every deadline one full interval into the
+        future — a document validated just before the crash stays
+        not-yet-due; one overdue at crash time is due immediately.
+        """
+        self._last[key] = last
+
     def forget(self, key: Hashable) -> None:
         self._last.pop(key, None)
 

@@ -18,6 +18,7 @@ EVENT_KINDS = (
     "migrate", "remigrate", "revoke", "replicate",
     "pull", "pull_failed", "validate", "validate_refreshed",
     "ping", "peer_dead", "regenerate", "content_update",
+    "checkpoint", "recover",
 )
 
 

@@ -23,7 +23,7 @@ across the replica set by the engine's rewriter.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import ServerConfig
 from repro.core.document import Location
@@ -68,6 +68,15 @@ class MigrationPolicy:
         # circuit breaker is open or that the health monitor holds dead
         # never receive new migrations, re-migrations, or replicas.
         self.peer_available: Optional[Callable[[Location], bool]] = None
+        # Fired for every applied decision, from every decision site — the
+        # engine hangs its write-ahead journal here so no migration can be
+        # acknowledged without first being durable.
+        self.on_decision: Optional[Callable[[MigrationDecision], None]] = None
+
+    def _note(self, decision: MigrationDecision) -> MigrationDecision:
+        if self.on_decision is not None:
+            self.on_decision(decision)
+        return decision
 
     # ------------------------------------------------------------------
     # Queries
@@ -90,8 +99,43 @@ class MigrationPolicy:
         """
         dirtied = self.graph.mark_migrated(name, target)
         self._migrations[name] = _MigrationRecord(coop=target, migrated_at=now)
-        return MigrationDecision(name=name, target=target, kind="migrate",
-                                 dirtied=tuple(dirtied))
+        return self._note(MigrationDecision(
+            name=name, target=target, kind="migrate", dirtied=tuple(dirtied)))
+
+    # ------------------------------------------------------------------
+    # Recovery (snapshot restore and journal replay)
+    # ------------------------------------------------------------------
+
+    def restore(self, name: str, coop: Location, migrated_at: float,
+                replicas: Optional[Dict[str, float]] = None) -> None:
+        """Re-install home-side bookkeeping for one migrated document.
+
+        Pure state restoration: the LDG is untouched (the caller restores
+        it separately), no decision fires, no rate-limit bookkeeping
+        changes.  This is the supported way for persistence/recovery code
+        to rebuild the migration table — never write ``_migrations``
+        directly.
+        """
+        self._migrations[name] = _MigrationRecord(
+            coop=coop, migrated_at=migrated_at,
+            replicas=dict(replicas or {}))
+
+    def discard(self, name: str) -> None:
+        """Forget *name*'s migration record without touching the LDG.
+
+        The replay-side complement of :meth:`restore`: journal replay of a
+        revocation sets graph state directly (for idempotency) and uses
+        this to keep the migration table consistent with it.
+        """
+        self._migrations.pop(name, None)
+
+    def restored(self, name: str) -> Optional[Tuple[Location, float]]:
+        """(coop, migrated_at) for *name*, if migrated — used by snapshot
+        writers so they need no private-attribute access either."""
+        record = self._migrations.get(name)
+        if record is None:
+            return None
+        return record.coop, record.migrated_at
 
     # ------------------------------------------------------------------
     # Periodic decisions (driven by the statistics interval)
@@ -170,8 +214,9 @@ class MigrationPolicy:
         self._coop_last_accept[str(target)] = now
         self._migrations[document.name] = _MigrationRecord(
             coop=target, migrated_at=now)
-        return MigrationDecision(name=document.name, target=target,
-                                 kind="migrate", dirtied=tuple(dirtied))
+        return self._note(MigrationDecision(
+            name=document.name, target=target, kind="migrate",
+            dirtied=tuple(dirtied)))
 
     def _choose_document(self, now: float):
         """Pick the document to migrate per the configured policy.
@@ -240,9 +285,9 @@ class MigrationPolicy:
             dirtied_again = self.graph.mark_migrated(name, target)
             self._coop_last_accept[str(target)] = now
             self._migrations[name] = _MigrationRecord(coop=target, migrated_at=now)
-            decisions.append(MigrationDecision(
+            decisions.append(self._note(MigrationDecision(
                 name=name, target=target, kind="remigrate",
-                dirtied=tuple(sorted(set(dirtied) | set(dirtied_again)))))
+                dirtied=tuple(sorted(set(dirtied) | set(dirtied_again))))))
             # Re-migration is cheaper than first migration (the revoked
             # co-op simply drops its copy), so it gets twice the budget.
             if len(decisions) >= 2 * self.config.max_migrations_per_interval:
@@ -290,9 +335,9 @@ class MigrationPolicy:
             dirtied = self.graph.add_replica(name, target)
             self._coop_last_accept[str(target)] = now
             record.replicas[str(target)] = now
-            decisions.append(MigrationDecision(
+            decisions.append(self._note(MigrationDecision(
                 name=name, target=target, kind="replicate",
-                dirtied=tuple(dirtied)))
+                dirtied=tuple(dirtied))))
             break  # at most one replication per round
         return decisions
 
@@ -304,8 +349,9 @@ class MigrationPolicy:
         """Return one document to home (content change or operator action)."""
         dirtied = self.graph.mark_revoked(name)
         self._migrations.pop(name, None)
-        return MigrationDecision(name=name, target=self.graph.home,
-                                 kind="revoke", dirtied=tuple(dirtied))
+        return self._note(MigrationDecision(
+            name=name, target=self.graph.home, kind="revoke",
+            dirtied=tuple(dirtied)))
 
     def revoke_all_from(self, coop: Location) -> List[MigrationDecision]:
         """Recall every document hosted by a dead co-op server."""
@@ -320,9 +366,9 @@ class MigrationPolicy:
             if document is not None and coop in document.replicas:
                 document.replicas.discard(coop)
                 dirtied = self.graph.dirty_referrers(name)
-                decisions.append(MigrationDecision(
+                decisions.append(self._note(MigrationDecision(
                     name=name, target=self.graph.home, kind="revoke",
-                    dirtied=tuple(dirtied)))
+                    dirtied=tuple(dirtied))))
                 continue
             decisions.append(self.revoke(name))
         return decisions

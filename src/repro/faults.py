@@ -17,6 +17,11 @@ work:
   channel (:meth:`repro.client.pool.ConnectionPool._exchange`);
 - ``disk``     — reading document bytes
   (:meth:`repro.server.filestore.DiskStore.get`);
+- ``disk_write`` — durably writing bytes: document puts
+  (:meth:`repro.server.filestore.DiskStore.put`) and write-ahead journal
+  appends (:meth:`repro.server.wal.WriteAheadJournal.append`).  The
+  ``torn_write`` kind persists only a prefix of the data before failing,
+  simulating power loss mid-write;
 - the simulator consults the same plan through
   :class:`repro.sim.network.FaultyTransport`, so one seed describes one
   fault schedule whether the transport is real sockets or virtual time.
@@ -56,9 +61,11 @@ KINDS = {
     "truncate": "exchange",         # peer closes before the body completes
     "delay": "exchange",            # slow peer (fixed + jittered latency)
     "disk_error": "disk",           # unreadable file under a healthy path
+    "disk_write_error": "disk_write",  # write to disk fails outright
+    "torn_write": "disk_write",     # power loss mid-write: a prefix lands
 }
 
-SITES = ("connect", "exchange", "disk")
+SITES = ("connect", "exchange", "disk", "disk_write")
 
 
 class InjectedConnectRefused(ConnectionRefusedError):
@@ -118,7 +125,7 @@ class FaultRule:
     def matches_target(self, site: str, target: str) -> bool:
         if site != self.site:
             return False
-        pattern = self.name if site == "disk" else self.peer
+        pattern = self.name if site in ("disk", "disk_write") else self.peer
         return pattern == "*" or pattern == target
 
 
@@ -242,6 +249,23 @@ class FaultPlan:
         event = self.decide("disk", name)
         if event is not None:
             raise InjectedDiskError(f"injected disk-read error: {name}")
+
+    def check_disk_write(self, name: str) -> Optional[FaultEvent]:
+        """Called before writing *name*'s bytes durably.
+
+        ``disk_write_error`` raises here (the write never happens).  A
+        ``torn_write`` event is *returned* instead: the call site must
+        persist only a prefix of the data and then raise
+        :class:`InjectedDiskError` itself — simulating power loss partway
+        through the write, which is exactly the failure crash-atomic
+        stores and journal recovery have to survive.
+        """
+        event = self.decide("disk_write", name)
+        if event is None:
+            return None
+        if event.kind == "disk_write_error":
+            raise InjectedDiskError(f"injected disk-write error: {name}")
+        return event
 
     def _apply(self, event: Optional[FaultEvent], target: str) -> None:
         if event is None:

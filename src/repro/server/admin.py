@@ -12,6 +12,8 @@ A DCWS server answers four plain-text administrative endpoints:
 - ``/~dcws/events`` — the tail of the structured event log;
 - ``/~dcws/caches`` — hit/miss/eviction counters of the serve-path cache
   hierarchy (link templates, byte cache, response cache);
+- ``/~dcws/durability`` — write-ahead journal position, checkpoint
+  freshness, and the stats of the last crash recovery;
 - ``/~dcws/health`` — liveness + readiness probe.  Unlike the other
   endpoints this one is answered by the engine *before* any accounting
   (no request counter, no CPS/BPS metrics, no entry gate), so load
@@ -156,6 +158,54 @@ def render_health(engine) -> str:
             f"hosted {sum(1 for h in engine.hosted.values() if h.fetched)}\n")
 
 
+def render_durability(engine) -> str:
+    """Journal position, checkpoint freshness, and last-recovery stats.
+
+    The operator's crash-safety dashboard: how much un-checkpointed
+    journal exists (recovery replay time), how stale the snapshot is,
+    and what the last recovery actually replayed.
+    """
+    now = getattr(engine, "_admin_now", 0.0)
+    lines: List[str] = []
+    journal = getattr(engine, "journal", None)
+    if journal is None:
+        lines.append("journal: not configured (snapshot-only durability)")
+    else:
+        info = journal.describe()
+        checkpoint_at = journal.last_checkpoint_at
+        age_text = ("never" if checkpoint_at is None
+                    else f"{max(0.0, now - checkpoint_at):.1f}s")
+        lines.extend([
+            "journal:",
+            f"  path                {info['path']}",
+            f"  fsync policy        {info['fsync_policy']}",
+            f"  epoch               {info['epoch']}",
+            f"  last lsn            {info['last_lsn']}",
+            f"  size bytes          {info['size_bytes']}",
+            f"  records since ckpt  {info['records_since_checkpoint']}",
+            f"  appends / fsyncs    {info['appends']}/{info['syncs']}",
+            f"  last checkpoint age {age_text}",
+            f"  torn tail truncated {1 if info['torn_tail_truncated'] else 0}",
+        ])
+    recovery = getattr(engine, "recovery", None)
+    if recovery is None:
+        lines.append("recovery: none this incarnation")
+    else:
+        lines.extend([
+            "recovery (last):",
+            f"  snapshot loaded     {1 if recovery.snapshot_loaded else 0}",
+            f"  snapshot error      {recovery.snapshot_error or '-'}",
+            f"  documents restored  {recovery.documents_restored}",
+            f"  records replayed    {recovery.records_replayed}",
+            f"  records skipped     {recovery.records_skipped}",
+            f"  torn tail truncated {1 if recovery.torn_tail_truncated else 0}",
+            f"  last lsn            {recovery.last_lsn}",
+        ])
+    lines.append(f"checkpoints {engine.log.count('checkpoint')}")
+    lines.append(f"recoveries  {engine.log.count('recover')}")
+    return "\n".join(lines) + "\n"
+
+
 def render_caches(engine) -> str:
     """The serve-path cache hierarchy, one counter per line."""
     lines: List[str] = []
@@ -178,6 +228,7 @@ ENDPOINTS = {
     "peers": render_peers,
     "events": render_events,
     "caches": render_caches,
+    "durability": render_durability,
     "health": render_health,
 }
 

@@ -66,7 +66,11 @@ from repro.http.messages import (
 )
 from repro.http.status import StatusCode
 from repro.http.wire import RequestParser
-from repro.server.dispatch import BlockingDirectiveMixin, close_quietly
+from repro.server.dispatch import (
+    BlockingDirectiveMixin,
+    DurabilityMixin,
+    close_quietly,
+)
 from repro.server.engine import (
     DCWSEngine,
     EngineReply,
@@ -108,7 +112,7 @@ class _Connection:
         self.events = 0
 
 
-class AsyncDCWSServer(BlockingDirectiveMixin):
+class AsyncDCWSServer(BlockingDirectiveMixin, DurabilityMixin):
     """Host a :class:`DCWSEngine` behind a single-threaded event loop."""
 
     def __init__(self, engine: DCWSEngine, *,
@@ -117,6 +121,7 @@ class AsyncDCWSServer(BlockingDirectiveMixin):
                  tick_period: float = 0.25,
                  snapshot_path: Optional[str] = None,
                  snapshot_interval: float = 30.0,
+                 journal_path: Optional[str] = None,
                  faults: Optional["FaultPlan"] = None) -> None:
         self.engine = engine
         self.bind_host = bind_host or engine.location.host
@@ -126,6 +131,7 @@ class AsyncDCWSServer(BlockingDirectiveMixin):
         self.snapshot_path = snapshot_path
         self.snapshot_interval = snapshot_interval
         self._last_snapshot = 0.0
+        self._init_durability(journal_path, faults)
         # Engine guard, shared between the loop and executor threads.
         self._lock = threading.Lock()
         self._listener: Optional[socket.socket] = None
@@ -161,12 +167,8 @@ class AsyncDCWSServer(BlockingDirectiveMixin):
             raise ReproError("server already started")
         with self._lock:
             now = time.monotonic()
-            self.engine.initialize(now)
-            if self.snapshot_path:
-                from repro.server.persistence import restore_from_file
-
-                restore_from_file(self.engine, self.snapshot_path, now)
-                self._last_snapshot = now
+            self._recover_state(now)
+            self._last_snapshot = now
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((self.bind_host, self.port))
@@ -196,12 +198,8 @@ class AsyncDCWSServer(BlockingDirectiveMixin):
         """Stop the loop, drain the executor, close everything."""
         if self._listener is None:
             return
-        if self.snapshot_path:
-            from repro.server.persistence import save_snapshot
-
-            with self._lock:
-                save_snapshot(self.engine, self.snapshot_path,
-                              time.monotonic())
+        with self._lock:
+            self._checkpoint_state(time.monotonic())
         self._stop.set()
         self._wake()
         if self._thread is not None:
@@ -209,6 +207,7 @@ class AsyncDCWSServer(BlockingDirectiveMixin):
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
         self.pool.close()
+        self._close_durability()
         self._listener = None
         self._thread = None
         self._executor = None
@@ -553,10 +552,14 @@ class AsyncDCWSServer(BlockingDirectiveMixin):
         self._drops_drained += pending_drops
         for action in actions:
             self._executor.submit(self._run_action, action)
+        if self.journal is not None:
+            # Interval-policy fsync off the loop: the fsync blocks on
+            # disk, which is exactly what the loop thread must not do.
+            self._executor.submit(self._durability_tick, now)
         if self.snapshot_path and \
                 now - self._last_snapshot >= self.snapshot_interval:
             self._last_snapshot = now
-            self._executor.submit(self._save_snapshot)
+            self._executor.submit(self._locked_checkpoint)
 
     def _run_action(self, action: OutboundAction) -> None:
         """One periodic server-to-server transfer (executor thread)."""
@@ -569,8 +572,7 @@ class AsyncDCWSServer(BlockingDirectiveMixin):
         with self._lock:
             self.engine.complete_action(action, response, time.monotonic())
 
-    def _save_snapshot(self) -> None:
-        from repro.server.persistence import save_snapshot
-
+    def _locked_checkpoint(self) -> None:
+        """Periodic checkpoint (executor thread, off the loop)."""
         with self._lock:
-            save_snapshot(self.engine, self.snapshot_path, time.monotonic())
+            self._checkpoint_state(time.monotonic())

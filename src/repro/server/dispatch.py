@@ -21,12 +21,17 @@ from __future__ import annotations
 import socket
 import threading
 import time
+from typing import Optional, TYPE_CHECKING
 
 from repro.client.breaker import BreakerOpenError
 from repro.client.realclient import http_fetch
 from repro.errors import HTTPError
 from repro.http.messages import Response
 from repro.server.engine import PullFromHome, RegenerateAndServe
+
+if TYPE_CHECKING:
+    from repro.faults import FaultPlan
+    from repro.server.wal import WriteAheadJournal
 
 
 class BlockingDirectiveMixin:
@@ -91,6 +96,89 @@ class BlockingDirectiveMixin:
                                               time.monotonic(),
                                               home_down=home_down)
         return reply.response
+
+
+class DurabilityMixin:
+    """Journal + snapshot lifecycle shared by both socket front ends.
+
+    Host requirements: ``engine``, ``_lock``, ``snapshot_path`` and (set
+    by :meth:`_init_durability`) ``journal_path``.  The pattern is the
+    same in both hosts:
+
+    - :meth:`_recover_state` at start, under the engine lock — snapshot +
+      journal replay when journaling is on, the legacy snapshot-only
+      restore when it is off;
+    - :meth:`_checkpoint_state` on the snapshot interval and at stop,
+      under the engine lock — durable snapshot then journal truncation;
+    - :meth:`_durability_tick` every periodic tick, *without* the lock —
+      drives the ``interval`` fsync policy (the journal has its own
+      locking);
+    - :meth:`_close_durability` at stop.
+
+    All methods may block on disk and must run where blocking is allowed
+    (the threaded server's threads, the event-loop host's executor).
+    """
+
+    journal: "Optional[WriteAheadJournal]" = None
+
+    def _init_durability(self, journal_path: Optional[str],
+                         faults: "Optional[FaultPlan]" = None) -> None:
+        self.journal_path = journal_path
+        self.journal = None
+        self._journal_faults = faults
+
+    def _recover_state(self, now: float) -> None:
+        """Initialize + restore the engine; open the journal for append.
+
+        Caller holds the engine lock.  Recovery scans the journal
+        read-only *before* opening it for append, so a torn tail is
+        observed (and reported in the recovery stats) rather than being
+        silently truncated by the open.
+        """
+        from repro.server import persistence
+
+        if self.journal_path:
+            from repro.server.wal import WriteAheadJournal
+
+            stats = persistence.recover(self.engine, self.snapshot_path,
+                                        self.journal_path, now)
+            config = self.engine.config
+            self.journal = WriteAheadJournal(
+                self.journal_path,
+                location=str(self.engine.location),
+                fsync_policy=config.wal_fsync,
+                fsync_interval=config.wal_fsync_interval,
+                epoch=stats.resume_epoch,
+                start_lsn=stats.resume_lsn,
+                faults=self._journal_faults)
+            self.engine.attach_journal(self.journal)
+            return
+        self.engine.initialize(now)
+        if self.snapshot_path:
+            persistence.restore_from_file(self.engine, self.snapshot_path,
+                                          now)
+
+    def _checkpoint_state(self, now: float) -> None:
+        """Durable snapshot (+ journal truncation).  Caller holds the
+        engine lock; without a snapshot path there is nothing to do —
+        the journal alone keeps growing until one is configured."""
+        from repro.server import persistence
+
+        if not self.snapshot_path:
+            return
+        if self.journal is not None:
+            persistence.checkpoint(self.engine, self.snapshot_path, now)
+        else:
+            persistence.save_snapshot(self.engine, self.snapshot_path, now)
+
+    def _durability_tick(self, now: float) -> None:
+        """Per-tick journal upkeep (interval fsync).  Lock-free."""
+        if self.journal is not None:
+            self.journal.maybe_sync(now)
+
+    def _close_durability(self) -> None:
+        if self.journal is not None:
+            self.journal.close()
 
 
 def close_quietly(connection: socket.socket) -> None:

@@ -85,6 +85,8 @@ from repro.server.filestore import DocumentStore, MemoryStore, guess_content_typ
 
 if TYPE_CHECKING:
     from repro.client.breaker import CircuitBreaker
+    from repro.server.persistence import RecoveryStats
+    from repro.server.wal import WriteAheadJournal
 
 VERSION_HEADER = "X-DCWS-Version"
 PURPOSE_HEADER = "X-DCWS-Purpose"
@@ -265,6 +267,18 @@ class DCWSEngine:
         self.hosted: Dict[str, HostedDocument] = {}
         self.stats = EngineStats()
         self.log = EventLog()
+        # Durability (attach_journal): every state mutation below appends
+        # a redo record before (or, for derived facts like a cleared dirty
+        # bit, immediately after) the mutation lands, so snapshot + replay
+        # reconstructs this engine after a crash.  ``recovery`` carries the
+        # stats of the last recover() for the durability admin endpoint.
+        self.journal: Optional["WriteAheadJournal"] = None
+        self.recovery: Optional["RecoveryStats"] = None
+        # Journal timestamps: engine time is an explicit ``now`` argument,
+        # refreshed here at every entry point so nested mutation sites
+        # (policy callbacks, _commit_bytes) can stamp records without
+        # threading ``now`` through every call chain.
+        self._clock = 0.0
         self.entry_gate: Optional[EntryGate] = None
         if config.entry_gate_secret:
             self.entry_gate = EntryGate(config.entry_gate_secret,
@@ -275,6 +289,51 @@ class DCWSEngine:
         self._initialized = False
         for peer in peers:
             self.glt.register(peer)
+
+    # ------------------------------------------------------------------
+    # Durability: write-ahead journal hooks
+    # ------------------------------------------------------------------
+
+    def attach_journal(self, journal: "WriteAheadJournal") -> None:
+        """Journal every state mutation from here on.
+
+        Wires the migration policy's decision callback so *every* decision
+        site — periodic rounds, forced migrations, dead-peer revocations —
+        lands in the journal without per-site plumbing.
+        """
+        self.journal = journal
+        self.policy.on_decision = self._journal_decision
+
+    def _journal(self, kind: str, **fields: object) -> None:
+        if self.journal is not None:
+            self.journal.append(kind, self._clock, **fields)
+
+    def _journal_decision(self, decision: MigrationDecision) -> None:
+        """Journal one applied migration decision as *resulting state*.
+
+        Recording the post-decision location/replicas/versions (rather
+        than the operation) makes replay a plain state install: applying
+        a record twice is the same as once, and the replica-discard flavor
+        of ``revoke`` (document still migrated, one replica gone) needs no
+        special casing.
+        """
+        if self.journal is None:
+            return
+        record = self.graph.find(decision.name)
+        restored = self.policy.restored(decision.name)
+        dirtied = []
+        for name in decision.dirtied:
+            touched = self.graph.find(name)
+            if touched is not None:
+                dirtied.append([name, touched.version])
+        self._journal(
+            decision.kind,
+            name=decision.name,
+            location=str(record.location) if record else str(self.location),
+            replicas=sorted(str(r) for r in record.replicas) if record else [],
+            version=record.version if record else 0,
+            dirtied=dirtied,
+            migrated_at=restored[1] if restored else None)
 
     # ------------------------------------------------------------------
     # Initialization: scan the store, parse documents, build the LDG
@@ -359,6 +418,7 @@ class DCWSEngine:
         or a :class:`RegenerateAndServe` directive when the host asked to
         run dirty-document regeneration itself (off its engine lock).
         """
+        self._clock = now
         path = normalize_path(request.path)
         if path == HEALTH_PATH:
             # Monitoring traffic: answered before any accounting so
@@ -588,16 +648,22 @@ class DCWSEngine:
         if not hosted.fetched:
             # Lazy migration, sub-condition 1 (section 4.2): no local copy
             # yet — pull from the home server, then serve and cache.
-            self.stats.pulls_started += 1
-            pull_request = Request(method="GET", target=original)
-            self._attach_piggyback(pull_request.headers)
-            pull_request.headers.set(PURPOSE_HEADER, "migration-pull")
-            return PullFromHome(key=key, home=home, original=original,
-                                request=pull_request, client_request=request)
+            return self._start_pull(request, key, home, original)
         cached = self.response_cache.get(key, hosted.version, request.method) \
             if hosted.version else None
         if cached is None:
-            data = self.store.get(key)
+            try:
+                data = self.store.get(key)
+            except DocumentNotFound:
+                # The entry says fetched but the bytes are gone — a
+                # restart recovered the registration without the copy, or
+                # the file was lost.  Degrade to a fresh pull instead of
+                # 404ing a document the home migrated here.
+                hosted.fetched = False
+                hosted.version = ""
+                self.response_cache.invalidate(key)
+                self.log.record(now, "pull", key=key, reason="missing-bytes")
+                return self._start_pull(request, key, home, original)
             cached = CachedResponse(
                 body=b"" if request.method == "HEAD" else data,
                 content_length=len(data),
@@ -614,6 +680,16 @@ class DCWSEngine:
         self.stats.responses_200 += 1
         return self._finish(request, response, now, doc_name=key)
 
+    def _start_pull(self, request: Request, key: str, home: Location,
+                    original: str) -> PullFromHome:
+        """Directive to fetch a hosted document's bytes from its home."""
+        self.stats.pulls_started += 1
+        pull_request = Request(method="GET", target=original)
+        self._attach_piggyback(pull_request.headers)
+        pull_request.headers.set(PURPOSE_HEADER, "migration-pull")
+        return PullFromHome(key=key, home=home, original=original,
+                            request=pull_request, client_request=request)
+
     def complete_pull(self, pull: PullFromHome, response: Optional[Response],
                       now: float, *, home_down: bool = False) -> EngineReply:
         """Finish a lazy-migration pull: cache the bytes and serve them.
@@ -625,6 +701,7 @@ class DCWSEngine:
         off).  Transport failures feed :attr:`health` exactly like failed
         pings, so a dead home is declared from the data path.
         """
+        self._clock = now
         hosted = self.hosted.get(pull.key)
         if hosted is None:
             # The entry was discarded while the pull was in flight (e.g.
@@ -638,6 +715,7 @@ class DCWSEngine:
             # The home says we are not (or no longer) this document's
             # host: forward the redirect to the client, keep nothing.
             self._absorb_piggyback(response.headers)
+            self._journal("hosted_dropped", key=pull.key)
             self.hosted.pop(pull.key, None)
             self.validation.forget(pull.key)
             self.response_cache.invalidate(pull.key)
@@ -663,12 +741,20 @@ class DCWSEngine:
                                 now, doc_name=pull.key)
         self._absorb_piggyback(response.headers)
         self.health.record_success(str(pull.home), now)
+        content_type = response.headers.get("Content-Type") \
+            or hosted.content_type
+        # Journal before the byte write: a crash in between recovers the
+        # hosted entry as unfetched, and the next request re-pulls — lost
+        # work, never lost state.
+        self._journal("pull", key=pull.key, home=str(pull.home),
+                      original=pull.original, size=len(response.body),
+                      version=response.headers.get(VERSION_HEADER, "") or "",
+                      content_type=content_type)
         self.store.put(pull.key, response.body)
         self.response_cache.invalidate(pull.key)
         hosted.fetched = True
         hosted.size = len(response.body)
         hosted.version = response.headers.get(VERSION_HEADER, "") or ""
-        content_type = response.headers.get("Content-Type")
         if content_type:
             hosted.content_type = content_type
         # Jitter each document's first validation deadline so documents
@@ -779,6 +865,12 @@ class DCWSEngine:
         self.store.put(record.name, data)
         record.size = len(data)
         record.dirty = False
+        # Journal *after* the byte write — the record asserts "this
+        # version's links are clean on disk", which is only true once the
+        # crash-atomic put returned.  A crash in between replays as
+        # still-dirty and simply regenerates again.
+        self._journal("regenerate", name=record.name, version=record.version,
+                      size=record.size)
         # Regeneration changes bytes without bumping the version, so the
         # rendered-response cache must be invalidated explicitly.
         self.response_cache.invalidate(record.name)
@@ -871,6 +963,7 @@ class DCWSEngine:
         Hosts call this regularly (the threaded server from its pinger and
         statistics threads, the simulator from scheduled events).
         """
+        self._clock = now
         actions: List[OutboundAction] = []
         if self._last_stats_at is None or \
                 now - self._last_stats_at >= self.config.stats_interval:
@@ -889,6 +982,10 @@ class DCWSEngine:
             now, self.config.load_metric,
             drop_pressure_weight=self.config.drop_pressure_weight)
         self.glt.update_own(own_metric, now)
+        # Own GLT row only: piggybacked peer rows are gossip, rebuilt for
+        # free after a restart — journaling them would bloat the log with
+        # a record per transfer for state that expires in seconds.
+        self._journal("glt_row", metric=own_metric)
         decisions = self.policy.consider(now, own_metric)
         for decision in decisions:
             self.stats.decisions.append(decision)
@@ -949,6 +1046,7 @@ class DCWSEngine:
         ping failures declare it dead, and if we are the home of documents
         it hosted, they are revoked (section 4.5, case 3).
         """
+        self._clock = now
         peer_key = str(action.peer)
         if response is None:
             failures = self.health.record_failure(peer_key)
@@ -973,10 +1071,14 @@ class DCWSEngine:
         if response.status == StatusCode.NOT_MODIFIED:
             return  # copy is current
         if response.status == StatusCode.OK:
+            version = response.headers.get(VERSION_HEADER, "") \
+                or hosted.version
+            self._journal("validate_refreshed", key=hosted.key,
+                          size=len(response.body), version=version)
             self.store.put(hosted.key, response.body)
             self.response_cache.invalidate(hosted.key)
             hosted.size = len(response.body)
-            hosted.version = response.headers.get(VERSION_HEADER, "") or hosted.version
+            hosted.version = version
             self.log.record(now, "validate_refreshed", key=hosted.key,
                             bytes=hosted.size)
             return
@@ -987,6 +1089,7 @@ class DCWSEngine:
             # re-migrated or revoked it — we are no longer its host.
             # Either way, drop our copy; future requests for the old URL
             # pull again and are answered with the home's redirect.
+            self._journal("hosted_dropped", key=hosted.key)
             self.store.delete(hosted.key)
             self.response_cache.invalidate(hosted.key)
             self.validation.forget(hosted.key)
@@ -1040,12 +1143,16 @@ class DCWSEngine:
         """Install a migrated document's bytes as if the lazy pull had
         already happened (a warmed co-op).  Validation is scheduled with
         the usual per-document jitter."""
+        self._clock = now
         key = encode_migrated_path(home, original)
         hosted = HostedDocument(key=key, home=home, original=original,
                                 fetched=True, size=len(data),
                                 version=str(version),
                                 content_type=guess_content_type(original))
         self.hosted[key] = hosted
+        self._journal("pull", key=key, home=str(home), original=original,
+                      size=len(data), version=str(version),
+                      content_type=hosted.content_type)
         self.store.put(key, data)
         self.response_cache.invalidate(key)
         jitter = (hash(key) % 997) / 997.0
@@ -1061,6 +1168,12 @@ class DCWSEngine:
         refresh its outgoing edges.  Co-op copies catch up at their next
         validation."""
         record = self.graph.get(name)
+        # Journal before the byte write: replay bumps the version even if
+        # the crash ate the bytes, so co-ops revalidate instead of holding
+        # a stale copy that compares equal by version.
+        self._journal("content_update", name=name,
+                      version=record.version + 1, size=len(data),
+                      dirty=record.is_html)
         self.store.put(name, data)
         self.response_cache.invalidate(name)
         record.size = len(data)

@@ -18,6 +18,7 @@ from abc import ABC, abstractmethod
 from typing import Dict, Iterator, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.errors import DocumentNotFound
+from repro.faults import InjectedDiskError
 from repro.http.urls import split_path
 
 if TYPE_CHECKING:
@@ -43,6 +44,26 @@ def guess_content_type(name: str) -> str:
     """Content type by file extension, the way the 1998 prototype did."""
     __, ext = os.path.splitext(name.lower())
     return _CONTENT_TYPES.get(ext, DEFAULT_CONTENT_TYPE)
+
+
+def fsync_directory(path: str) -> None:
+    """fsync a directory so a rename inside it is durable.
+
+    A crash after ``os.replace`` but before the directory entry reaches
+    disk can resurrect the old file; syncing the parent closes that
+    window.  Platforms whose directories cannot be opened or synced
+    (Windows) are skipped — rename durability is best-effort there.
+    """
+    try:
+        descriptor = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(descriptor)
+    except OSError:
+        pass
+    finally:
+        os.close(descriptor)
 
 
 class DocumentStore(ABC):
@@ -121,17 +142,29 @@ class DiskStore(DocumentStore):
     Path traversal is rejected: every stored name must resolve inside
     *root*.  The ``~migrate`` marker segment is encoded as ``_migrate_`` on
     disk so co-op copies can be cached without creating odd file names.
+
+    Writes are *crash-atomic*: :meth:`put` writes to a temporary file in
+    the target directory, fsyncs it, renames it over the destination with
+    ``os.replace`` and fsyncs the parent directory — a crash at any point
+    leaves either the complete old bytes or the complete new bytes,
+    never a truncated document.  Temporary files (suffix ``.tmp``) are
+    invisible to :meth:`names`, so an interrupted put cannot masquerade
+    as a document after restart.  ``fsync=False`` trades that durability
+    for speed (benchmarks, throwaway stores).
     """
 
     _MARKER_DIR = "_migrate_"
+    _TMP_SUFFIX = ".tmp"
 
     def __init__(self, root: str, *,
-                 faults: "Optional[FaultPlan]" = None) -> None:
+                 faults: "Optional[FaultPlan]" = None,
+                 fsync: bool = True) -> None:
         self.root = os.path.abspath(root)
         # Deterministic disk-read fault injection (chaos suite); an
         # injected OSError degrades to DocumentNotFound exactly like a
         # genuinely unreadable file.
         self.faults = faults
+        self.fsync = fsync
         os.makedirs(self.root, exist_ok=True)
 
     def _fs_path(self, name: str) -> str:
@@ -156,9 +189,32 @@ class DiskStore(DocumentStore):
 
     def put(self, name: str, data: bytes) -> None:
         path = self._fs_path(name)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        with open(path, "wb") as handle:
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        torn = None
+        if self.faults is not None:
+            torn = self.faults.check_disk_write(name)
+        temp_path = (f"{path}.{os.getpid()}.{id(data) & 0xffff:x}"
+                     f"{self._TMP_SUFFIX}")
+        handle = open(temp_path, "wb")
+        try:
+            if torn is not None:
+                # Injected power loss mid-write: a prefix reaches the
+                # temp file, the rename never happens, the old document
+                # (if any) stays complete.
+                handle.write(data[:max(1, len(data) // 2)])
+                handle.flush()
+                raise InjectedDiskError(
+                    f"injected torn write: {name}")
             handle.write(data)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        finally:
+            handle.close()
+        os.replace(temp_path, path)
+        if self.fsync:
+            fsync_directory(directory)
 
     def delete(self, name: str) -> None:
         try:
@@ -170,6 +226,8 @@ class DiskStore(DocumentStore):
         found: List[str] = []
         for dirpath, __, filenames in os.walk(self.root):
             for filename in filenames:
+                if filename.endswith(self._TMP_SUFFIX):
+                    continue  # interrupted put; never a document
                 full = os.path.join(dirpath, filename)
                 relative = os.path.relpath(full, self.root)
                 segments = relative.split(os.sep)

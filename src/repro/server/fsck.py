@@ -1,0 +1,173 @@
+"""Engine invariant checker: is this (recovered) engine self-consistent?
+
+Crash recovery (:func:`repro.server.persistence.recover`) promises a
+*prefix-consistent* engine: some acknowledged tail of work may be lost,
+but what remains must be coherent — no migration table entry without its
+graph record, no hyperlink pointing at a co-op the home has forgotten, no
+hosted entry claiming bytes that are not there.  :func:`check_engine`
+verifies exactly that, and the crash/chaos suites run it after every
+recovery so "the server came back up" is never mistaken for "the server
+came back up *right*".
+
+Checked invariants:
+
+1.  migration table ↔ graph agreement, both directions: every policy
+    record's document exists and is located at (or replicated on) that
+    co-op; every document located away from home has a policy record;
+2.  entry points are at home whenever the config protects them;
+3.  every *fetched* hosted entry is backed by store bytes; unfetched
+    entries carry no size/version (they re-pull on demand — never 404);
+4.  every document record's bytes exist in the store (a home must be
+    able to serve or re-serve everything it owns);
+5.  *clean* (not dirty) HTML home documents contain no stale
+    migrated-form links: a link rewritten toward a co-op must point at a
+    current location of its target — otherwise a crash forgot a
+    revocation that the on-disk hyperlinks still remember;
+6.  validation deadlines track exactly the fetched hosted entries.
+
+Violations are strings (path + what is wrong), so test failures read as
+a diagnosis rather than a boolean.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.naming import decode_migrated_path, is_migrated_path
+from repro.errors import DocumentNotFound, NamingError, ReproError
+from repro.html.links import extract_links
+from repro.html.parser import parse_html
+from repro.http.urls import normalize_path, parse_url, strip_fragment
+from repro.server.engine import DCWSEngine
+
+
+class FsckError(ReproError):
+    """Raised by :func:`assert_clean` when an engine fails its fsck."""
+
+
+def check_engine(engine: DCWSEngine, *,
+                 check_links: bool = True) -> List[str]:
+    """Every invariant violation found in *engine* (empty = clean).
+
+    ``check_links=False`` skips the parse-every-clean-document pass
+    (invariant 5) for callers that only need the cheap structural
+    checks.
+    """
+    violations: List[str] = []
+    home = engine.location
+
+    # 1. migration table ↔ graph, both directions
+    for name in engine.policy.migrated_names():
+        restored = engine.policy.restored(name)
+        assert restored is not None
+        coop = restored[0]
+        record = engine.graph.find(name)
+        if record is None:
+            violations.append(
+                f"migration table entry for missing document: {name} "
+                f"-> {coop}")
+            continue
+        if record.location != coop and coop not in record.replicas:
+            violations.append(
+                f"migration table says {name} is on {coop}, graph says "
+                f"{record.location} (replicas {sorted(map(str, record.replicas))})")
+    migrated = set(engine.policy.migrated_names())
+    for record in engine.graph.migrated_documents():
+        if record.name not in migrated:
+            violations.append(
+                f"document {record.name} located on {record.location} "
+                f"but absent from the migration table (forgotten "
+                f"migration)")
+
+    # 2. entry points at home
+    if engine.config.protect_entry_points:
+        for record in engine.graph.entry_points():
+            if record.location != home:
+                violations.append(
+                    f"entry point {record.name} migrated to "
+                    f"{record.location}")
+
+    # 3. hosted entries: fetched ↔ bytes
+    for key, entry in engine.hosted.items():
+        if entry.fetched:
+            if key not in engine.store:
+                violations.append(
+                    f"hosted entry {key} marked fetched but store has "
+                    f"no bytes")
+        else:
+            if entry.version:
+                violations.append(
+                    f"unfetched hosted entry {key} carries version "
+                    f"{entry.version!r}")
+
+    # 4. every home document's bytes are in the store
+    for record in engine.graph.documents():
+        if record.name not in engine.store:
+            violations.append(
+                f"document {record.name} in the graph but its bytes "
+                f"are missing from the store")
+
+    # 6. validation deadlines ↔ fetched hosted entries
+    for key in engine.validation.keys():
+        entry = engine.hosted.get(str(key))
+        if entry is None:
+            violations.append(
+                f"validation deadline for unknown hosted entry {key}")
+
+    # 5. clean documents carry no stale migrated-form links
+    if check_links:
+        violations.extend(_check_clean_links(engine))
+    return violations
+
+
+def _check_clean_links(engine: DCWSEngine) -> List[str]:
+    """Invariant 5: parse each clean HTML home document and verify every
+    migrated-form hyperlink points at a current location of its target."""
+    violations: List[str] = []
+    home = engine.location
+    for record in engine.graph.documents():
+        if record.dirty or not record.is_html or record.location != home:
+            continue
+        try:
+            source = engine.store.get(record.name).decode("latin-1")
+        except DocumentNotFound:
+            continue  # already reported by invariant 4
+        for link in extract_links(parse_html(source)):
+            raw = strip_fragment(link.value).strip()
+            if not raw:
+                continue
+            try:
+                url = parse_url(raw)
+            except Exception:
+                continue  # relative or malformed: not a rewritten link
+            path = normalize_path(url.path)
+            if not is_migrated_path(path):
+                continue
+            try:
+                link_home, original = decode_migrated_path(path)
+            except NamingError:
+                continue
+            if link_home != home:
+                continue  # a link into some other site's migrated space
+            target = engine.graph.find(original)
+            if target is None:
+                violations.append(
+                    f"clean document {record.name} links to migrated "
+                    f"form of unknown document {original}")
+                continue
+            link_host = f"{url.host}:{url.port}"
+            current = {str(loc) for loc in target.locations()}
+            if link_host not in current:
+                violations.append(
+                    f"clean document {record.name} links {original} at "
+                    f"{link_host}, but its current locations are "
+                    f"{sorted(current)} (stale rewritten link)")
+    return violations
+
+
+def assert_clean(engine: DCWSEngine, *, check_links: bool = True) -> None:
+    """Raise :class:`FsckError` listing every violation, if any."""
+    violations = check_engine(engine, check_links=check_links)
+    if violations:
+        raise FsckError(
+            "engine failed fsck:\n  " + "\n  ".join(violations))

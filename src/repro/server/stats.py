@@ -32,6 +32,17 @@ class ClusterSample:
     # Lifetime circuit-breaker trips (closed→open transitions) summed
     # across every engine whose host wired a breaker up.
     breaker_trips: int = 0
+    # Durability posture at sample time, summed across engines whose
+    # host attached a write-ahead journal: un-checkpointed journal bytes
+    # and records (recovery replay cost), the highest LSN in the
+    # cluster, the age of the *stalest* checkpoint, and what the last
+    # recoveries replayed (records + torn tails truncated).
+    wal_bytes: int = 0
+    wal_records_since_checkpoint: int = 0
+    wal_last_lsn: int = 0
+    wal_checkpoint_age: float = 0.0
+    recovery_records_replayed: int = 0
+    recovery_torn_tails: int = 0
 
     @property
     def imbalance(self) -> float:
@@ -54,6 +65,12 @@ def sample_cluster(now: float, engines: Iterable[DCWSEngine]) -> ClusterSample:
     cache_hits = 0
     cache_lookups = 0
     breaker_trips = 0
+    wal_bytes = 0
+    wal_records = 0
+    wal_last_lsn = 0
+    wal_checkpoint_age = 0.0
+    recovery_replayed = 0
+    recovery_torn = 0
     per_server: Dict[str, float] = {}
     for engine in engines:
         cps = engine.metrics.cps(now)
@@ -65,6 +82,18 @@ def sample_cluster(now: float, engines: Iterable[DCWSEngine]) -> ClusterSample:
         cache_lookups += engine.response_cache.stats.lookups
         if engine.breaker is not None:
             breaker_trips += engine.breaker.total_trips()
+        journal = engine.journal
+        if journal is not None:
+            wal_bytes += journal.size_bytes
+            wal_records += journal.records_since_checkpoint
+            wal_last_lsn = max(wal_last_lsn, journal.last_lsn)
+            if journal.last_checkpoint_at is not None:
+                wal_checkpoint_age = max(
+                    wal_checkpoint_age, now - journal.last_checkpoint_at)
+        recovery = engine.recovery
+        if recovery is not None:
+            recovery_replayed += recovery.records_replayed
+            recovery_torn += 1 if recovery.torn_tail_truncated else 0
         per_server[str(engine.location)] = cps
     return ClusterSample(time=now, cps=total_cps, bps=total_bps,
                          drops_per_second=total_drops,
@@ -73,7 +102,13 @@ def sample_cluster(now: float, engines: Iterable[DCWSEngine]) -> ClusterSample:
                          response_cache_hit_rate=(
                              cache_hits / cache_lookups if cache_lookups
                              else 0.0),
-                         breaker_trips=breaker_trips)
+                         breaker_trips=breaker_trips,
+                         wal_bytes=wal_bytes,
+                         wal_records_since_checkpoint=wal_records,
+                         wal_last_lsn=wal_last_lsn,
+                         wal_checkpoint_age=wal_checkpoint_age,
+                         recovery_records_replayed=recovery_replayed,
+                         recovery_torn_tails=recovery_torn)
 
 
 @dataclass

@@ -49,7 +49,11 @@ from repro.http.messages import (
 )
 from repro.http.status import StatusCode
 from repro.http.wire import RequestParser
-from repro.server.dispatch import BlockingDirectiveMixin, close_quietly
+from repro.server.dispatch import (
+    BlockingDirectiveMixin,
+    DurabilityMixin,
+    close_quietly,
+)
 from repro.server.engine import (
     DCWSEngine,
     EngineReply,
@@ -63,7 +67,7 @@ _RECV_CHUNK = 65536
 _MAX_REQUEST = 1024 * 1024
 
 
-class ThreadedDCWSServer(BlockingDirectiveMixin):
+class ThreadedDCWSServer(BlockingDirectiveMixin, DurabilityMixin):
     """Host a :class:`DCWSEngine` on real sockets with real threads."""
 
     def __init__(self, engine: DCWSEngine, *,
@@ -72,17 +76,20 @@ class ThreadedDCWSServer(BlockingDirectiveMixin):
                  tick_period: float = 0.25,
                  snapshot_path: Optional[str] = None,
                  snapshot_interval: float = 30.0,
+                 journal_path: Optional[str] = None,
                  faults: Optional["FaultPlan"] = None) -> None:
         self.engine = engine
         self.bind_host = bind_host or engine.location.host
         self.port = engine.location.port
         self.request_timeout = request_timeout
         self.tick_period = tick_period
-        # Optional restart recovery: restore on start, snapshot
-        # periodically and on stop (repro.server.persistence).
+        # Optional restart recovery: restore (or journal-replay recover)
+        # on start, checkpoint periodically and on stop
+        # (repro.server.persistence / repro.server.wal).
         self.snapshot_path = snapshot_path
         self.snapshot_interval = snapshot_interval
         self._last_snapshot = 0.0
+        self._init_durability(journal_path, faults)
         self._lock = threading.Lock()
         self._listener: Optional[socket.socket] = None
         self._threads: List[threading.Thread] = []
@@ -116,12 +123,8 @@ class ThreadedDCWSServer(BlockingDirectiveMixin):
             raise ReproError("server already started")
         with self._lock:
             now = time.monotonic()
-            self.engine.initialize(now)
-            if self.snapshot_path:
-                from repro.server.persistence import restore_from_file
-
-                restore_from_file(self.engine, self.snapshot_path, now)
-                self._last_snapshot = now
+            self._recover_state(now)
+            self._last_snapshot = now
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((self.bind_host, self.port))
@@ -148,12 +151,9 @@ class ThreadedDCWSServer(BlockingDirectiveMixin):
 
     def stop(self) -> None:
         """Stop accepting, drain threads, close the listener."""
-        if self.snapshot_path and self._listener is not None:
-            from repro.server.persistence import save_snapshot
-
+        if self._listener is not None:
             with self._lock:
-                save_snapshot(self.engine, self.snapshot_path,
-                              time.monotonic())
+                self._checkpoint_state(time.monotonic())
         self._stop.set()
         if self._listener is not None:
             try:
@@ -163,6 +163,7 @@ class ThreadedDCWSServer(BlockingDirectiveMixin):
         for thread in self._threads:
             thread.join(timeout=5.0)
         self.pool.close()
+        self._close_durability()
         self._listener = None
         self._threads = []
 
@@ -314,12 +315,11 @@ class ThreadedDCWSServer(BlockingDirectiveMixin):
                 with self._lock:
                     self.engine.complete_action(action, response,
                                                 time.monotonic())
+            self._durability_tick(now)
             if self.snapshot_path and \
                     now - self._last_snapshot >= self.snapshot_interval:
-                from repro.server.persistence import save_snapshot
-
                 with self._lock:
-                    save_snapshot(self.engine, self.snapshot_path, now)
+                    self._checkpoint_state(now)
                     self._last_snapshot = now
             self._stop.wait(self.tick_period)
 

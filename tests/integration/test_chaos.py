@@ -286,3 +286,83 @@ class TestRestartUnderLoad:
                 second.stop()
             first.stop()
             coop.stop()
+
+
+class TestCoopRestartUnderLoad:
+    def test_coop_restart_with_lost_bytes_serves_without_404s(self, tmp_path):
+        """Satellite of the durability PR: a co-op that restarts having
+        lost its hosted *bytes* (its cache disk died) but kept its
+        snapshot re-registers every hosted entry as unfetched and
+        re-pulls on demand — the home keeps redirecting to it, so a 404
+        here would be a lost document.  After convergence every document
+        serves 200 and the restarted co-op answered zero 404s."""
+        home_port, coop_port = free_port(), free_port()
+        home_loc = Location("127.0.0.1", home_port)
+        coop_loc = Location("127.0.0.1", coop_port)
+        snapshot = str(tmp_path / "coop.snapshot")
+        journal = str(tmp_path / "coop.wal")
+        config = ServerConfig(stats_interval=60.0, pinger_interval=60.0,
+                              validation_interval=60.0)
+        home_engine = DCWSEngine(home_loc, config, MemoryStore(SITE),
+                                 entry_points=["/index.html"],
+                                 peers=[coop_loc])
+        home = ThreadedDCWSServer(home_engine, tick_period=0.1)
+        home.start()
+
+        def make_coop():
+            # A fresh MemoryStore each incarnation: the hosted bytes do
+            # NOT survive the restart, only snapshot + journal do.
+            engine = DCWSEngine(coop_loc, config, MemoryStore(),
+                                peers=[home_loc])
+            return ThreadedDCWSServer(engine, tick_period=0.1,
+                                      snapshot_path=snapshot,
+                                      journal_path=journal)
+
+        first = make_coop()
+        first.start()
+        second = None
+        try:
+            with home._lock:
+                home.engine.policy.force_migrate("/d.html", coop_loc,
+                                                 time.monotonic())
+                home.engine.policy.force_migrate("/e.html", coop_loc,
+                                                 time.monotonic())
+            # Warm both hosted copies over real sockets.
+            for name in ("/d.html", "/e.html"):
+                outcome = fetch_url(URL("127.0.0.1", home_port, name))
+                assert outcome.status == 200 and outcome.redirected
+
+            threads, stats = crawl(home_port, sequences=10)
+            time.sleep(0.2)
+            first.stop()   # restart mid-crawl; bytes are gone with it
+            second = make_coop()
+            second.start()
+            for thread in threads:
+                thread.join(timeout=30)
+
+            key_d = f"/~migrate/127.0.0.1/{home_port}/d.html"
+            key_e = f"/~migrate/127.0.0.1/{home_port}/e.html"
+            with second._lock:
+                # The snapshot re-registered the entries, unfetched.
+                assert set(second.engine.hosted) == {key_d, key_e}
+            # Convergence: every document serves 200 again; the hosted
+            # entries re-fetch lazily on first demand.
+            for __ in range(3):
+                for name in SITE:
+                    outcome = fetch_url(
+                        URL("127.0.0.1", home_port, name), timeout=2.0)
+                    assert outcome.status == 200, \
+                        f"{name} -> {outcome.status} (seed={SEED})"
+            with second._lock:
+                assert second.engine.hosted[key_d].fetched
+                assert second.engine.hosted[key_e].fetched
+                # Zero 404s across the restarted co-op's whole life:
+                # unfetched entries re-pull, they never deny.
+                assert second.engine.stats.responses_404 == 0, \
+                    f"seed={SEED}"
+                assert second.engine.stats.pulls_completed >= 2
+        finally:
+            if second is not None:
+                second.stop()
+            first.stop()
+            home.stop()

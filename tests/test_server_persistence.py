@@ -53,7 +53,8 @@ class TestSnapshotRoundTrip:
     def test_snapshot_captures_migration_state(self):
         snapshot = snapshot_engine(busy_engine(), now=10.0)
         assert snapshot["documents"]["/d.html"]["location"] == "coop:8002"
-        assert snapshot["migrations"] == {"/d.html": "coop:8002"}
+        assert snapshot["migrations"] == {
+            "/d.html": {"coop": "coop:8002", "migrated_at": 5.0}}
         assert any(row["server"] == "home:8001" and row["metric"] == 17.0
                    for row in snapshot["glt"])
 
@@ -121,7 +122,7 @@ class TestHostedState:
         reply = restarted.handle_request(Request("GET", key), 4.0)
         assert reply.response.status == 200
 
-    def test_hosted_without_content_not_restored(self, tmp_path):
+    def test_hosted_without_content_restored_unfetched(self, tmp_path):
         coop = self.coop_with_copy()
         path = str(tmp_path / "coop.snapshot")
         save_snapshot(coop, path, now=2.0)
@@ -129,7 +130,15 @@ class TestHostedState:
                            peers=[HOME])
         fresh.initialize(0.0)
         restore_from_file(fresh, path, now=3.0)
-        assert fresh.hosted == {}
+        # The hosted entry survives without its bytes: it comes back
+        # unfetched and re-pulls from home on demand instead of 404ing
+        # (the home server still redirects here).
+        key = "/~migrate/home/8001/d.html"
+        assert key in fresh.hosted
+        assert not fresh.hosted[key].fetched
+        assert fresh.hosted[key].version == ""
+        retry = fresh.handle_request(Request("GET", key), 4.0)
+        assert isinstance(retry, PullFromHome)
 
 
 class TestInFlightState:
