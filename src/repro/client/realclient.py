@@ -17,11 +17,13 @@ from repro.core.document import Location
 from repro.errors import HTTPError
 from repro.html.links import extract_links
 from repro.html.parser import parse_html
+from repro.http.content import gunzip_bytes
 from repro.http.messages import Request, Response, parse_response
 from repro.http.urls import URL
 from repro.client.walker import FetchOutcome
 
 if TYPE_CHECKING:
+    from repro.client.cache import ValidatorCache
     from repro.client.pool import ConnectionPool
     from repro.faults import FaultPlan
 
@@ -115,8 +117,17 @@ def _recv_into(sock: socket.socket, buffer: bytearray) -> bool:
 
 def fetch_url(url: URL, *, timeout: float = 10.0,
               max_redirects: int = 5,
-              pool: "Optional[ConnectionPool]" = None) -> FetchOutcome:
+              pool: "Optional[ConnectionPool]" = None,
+              validators: "Optional[ValidatorCache]" = None,
+              accept_gzip: bool = False) -> FetchOutcome:
     """Fetch *url* as a browser would: follow redirects, parse HTML links.
+
+    With a *validators* cache the request carries ``If-None-Match`` /
+    ``If-Modified-Since`` for previously seen URLs, and a 304 answer is
+    satisfied from the cached entry (zero entity bytes on the wire).
+    With ``accept_gzip`` the request advertises ``Accept-Encoding: gzip``
+    and a compressed body is transparently decoded before link parsing —
+    ``wire_size`` reports the compressed transfer, ``size`` the entity.
 
     This is the ``fetch`` callable handed to
     :class:`repro.client.walker.RandomWalker` for real-transport runs.
@@ -127,11 +138,28 @@ def fetch_url(url: URL, *, timeout: float = 10.0,
     while True:
         request = Request(method="GET", target=current.request_target)
         request.headers.set("Host", current.authority)
+        if accept_gzip:
+            request.headers.set("Accept-Encoding", "gzip")
+        cached = validators.entry(str(current)) if validators is not None \
+            else None
+        if cached is not None:
+            if cached.etag:
+                request.headers.set("If-None-Match", cached.etag)
+            if cached.last_modified:
+                request.headers.set("If-Modified-Since", cached.last_modified)
+            validators.revalidations += 1
         try:
             response = http_fetch(Location(current.host, current.port),
                                   request, timeout=timeout, pool=pool)
         except (OSError, HTTPError):
             return FetchOutcome(status=599, redirected=redirected)
+        if response.status == 304 and cached is not None:
+            validators.not_modified += 1
+            return FetchOutcome(status=304, size=cached.size,
+                                links=list(cached.links),
+                                images=list(cached.images),
+                                redirected=redirected,
+                                not_modified=True, wire_size=0)
         if response.status in (301, 302):
             location = response.headers.get("Location")
             if not location or followed >= max_redirects:
@@ -146,9 +174,43 @@ def fetch_url(url: URL, *, timeout: float = 10.0,
             redirected = True
             followed += 1
             continue
+        wire_size = len(response.body)
+        encoding = (response.headers.get("Content-Encoding", "") or "").lower()
+        if encoding == "gzip" and response.body:
+            try:
+                response.body = gunzip_bytes(response.body)
+            except (OSError, ValueError):
+                return FetchOutcome(status=599, redirected=redirected)
+            response.headers.remove("Content-Encoding")
         links, images = _split_links(response)
+        if validators is not None and response.ok:
+            validators.store(
+                str(current),
+                etag=response.headers.get("ETag", "") or "",
+                last_modified=response.headers.get("Last-Modified", "") or "",
+                size=len(response.body), links=links, images=images)
         return FetchOutcome(status=response.status, size=len(response.body),
-                            links=links, images=images, redirected=redirected)
+                            links=links, images=images, redirected=redirected,
+                            wire_size=wire_size)
+
+
+def browser_fetch(*, timeout: float = 10.0,
+                  pool: "Optional[ConnectionPool]" = None):
+    """A ``fetch`` callable for :class:`RandomWalker` that behaves like
+    a real browser: one validator cache for the walker's lifetime (so
+    repeat visits revalidate with 304s) and gzip accepted.  The cache is
+    exposed as ``fetch.validators`` for assertions and stats.
+    """
+    from repro.client.cache import ValidatorCache
+
+    validators = ValidatorCache()
+
+    def fetch(url: URL) -> FetchOutcome:
+        return fetch_url(url, timeout=timeout, pool=pool,
+                         validators=validators, accept_gzip=True)
+
+    fetch.validators = validators
+    return fetch
 
 
 def _split_links(response: Response) -> "tuple[List[str], List[str]]":

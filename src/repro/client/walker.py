@@ -43,6 +43,11 @@ class FetchOutcome:
     ``links``/``images`` are the raw hyperlink values found in the body
     (absolute or relative); empty for non-HTML.  ``dropped`` marks a 503.
     ``redirected`` marks that a 301 was followed (one extra connection).
+    ``not_modified`` marks a revalidation answered 304 (the entity came
+    from the client's validator cache; ``size``/``links`` describe that
+    cached entity).  ``wire_size``, when set, is the body bytes actually
+    received — smaller than ``size`` for gzip responses, zero for 304s —
+    so byte accounting can distinguish entity size from transfer size.
     """
 
     status: int
@@ -50,10 +55,14 @@ class FetchOutcome:
     links: List[str] = field(default_factory=list)
     images: List[str] = field(default_factory=list)
     redirected: bool = False
+    not_modified: bool = False
+    wire_size: Optional[int] = None
 
     @property
     def ok(self) -> bool:
-        return 200 <= self.status < 300
+        """Usable entity: a 2xx, or a 304 satisfied from the client's
+        validator cache."""
+        return 200 <= self.status < 300 or self.not_modified
 
     @property
     def dropped(self) -> bool:
@@ -109,7 +118,9 @@ class WalkerStats:
     sequences: int = 0
     steps: int = 0
     requests: int = 0
-    bytes_received: int = 0
+    bytes_received: int = 0   # body bytes on the wire (wire_size-aware)
+    entity_bytes: int = 0     # logical entity bytes the client obtained
+    not_modified: int = 0     # revalidations answered 304
     cache_hits: int = 0
     drops: int = 0
     redirects: int = 0
@@ -218,7 +229,12 @@ class RandomWalker:
                 self.stats.errors += 1
                 return None
             self.stats.requests += 1
-            self.stats.bytes_received += outcome.size
+            self.stats.entity_bytes += outcome.size
+            self.stats.bytes_received += (
+                outcome.wire_size if outcome.wire_size is not None
+                else outcome.size)
+            if outcome.not_modified:
+                self.stats.not_modified += 1
             if outcome.redirected:
                 self.stats.redirects += 1
             if outcome.transport_failed:

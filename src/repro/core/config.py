@@ -138,6 +138,21 @@ class ServerConfig:
     breaker_max_reset_timeout: float = 30.0
     breaker_half_open_probes: int = 1
     breaker_jitter: float = 0.1
+    # HTTP content negotiation on the serve path.  ``gzip_enabled`` turns
+    # on pre-compressed response variants: at cache-fill time compressible
+    # bodies at least ``gzip_min_bytes`` long get a deterministic gzip
+    # variant stored alongside the identity bytes, negotiated per request
+    # via ``Accept-Encoding`` (with ``Vary: Accept-Encoding``).
+    gzip_enabled: bool = True
+    gzip_min_bytes: int = 256
+    # Tiered load shedding: when a front end reports queue/connection
+    # pressure at or above ``shed_pressure`` (a fraction of its capacity),
+    # the engine sheds *expensive* work — dirty-document regenerations and
+    # first-use co-op pulls — with 503 + Retry-After while cheap work
+    # (cache hits, 304 validations) keeps being served.  False restores
+    # the single-tier behaviour: overload is handled only at the edge.
+    tiered_shedding: bool = True
+    shed_pressure: float = 0.9
     # Write-ahead journal fsync discipline (repro.server.wal).
     # ``always`` fsyncs every append (group-committed); ``interval``
     # defers to the periodic tick, bounding loss to ``wal_fsync_interval``
@@ -182,6 +197,10 @@ class ServerConfig:
                 "breaker_max_reset_timeout must be >= breaker_reset_timeout")
         if self.breaker_jitter < 0:
             raise ConfigError("breaker_jitter must be non-negative")
+        if self.gzip_min_bytes < 0:
+            raise ConfigError("gzip_min_bytes must be non-negative")
+        if not (0.0 < self.shed_pressure <= 1.0):
+            raise ConfigError("shed_pressure must be in (0, 1]")
         if self.wal_fsync not in ("always", "interval", "off"):
             raise ConfigError(f"unknown wal_fsync policy: {self.wal_fsync!r}")
         if self.wal_fsync_interval <= 0:

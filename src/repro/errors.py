@@ -17,6 +17,29 @@ class HTTPError(ReproError):
     """Malformed HTTP message, header, or URL."""
 
 
+class InvalidContentLength(HTTPError):
+    """A ``Content-Length`` value that is not a plain ASCII-digit integer.
+
+    Negative numbers, signs, whitespace, underscores — anything ``int()``
+    would tolerate but RFC 7230 section 3.3.2 forbids.  Raised separately
+    from the base class because an invalid length frames *no* body bytes:
+    a connection-oriented parser can consume exactly the request head,
+    answer 400, and keep serving subsequent pipelined requests.
+    """
+
+
+class RecoverableProtocolError(HTTPError):
+    """A request-level protocol violation whose bytes were fully consumed.
+
+    Raised by :class:`repro.http.wire.RequestParser` after it has removed
+    the offending request from its buffer: the front end should answer
+    400 for *this* request and may keep the connection open — the next
+    pipelined request still parses from a clean buffer.  Contrast with
+    plain :class:`HTTPError`, where framing is unknowable and the only
+    safe reaction is to close the connection.
+    """
+
+
 class URLError(HTTPError):
     """A URL could not be parsed, joined, or encoded."""
 

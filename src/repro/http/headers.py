@@ -83,14 +83,19 @@ class Headers:
         return [v for n, v in self._items if n.lower() == key]
 
     def get_int(self, name: str, default: Optional[int] = None) -> Optional[int]:
-        """Return the first value for *name* parsed as an integer."""
+        """Return the first value for *name* parsed as an integer.
+
+        The parse is strict (RFC 7230 framing rules): plain ASCII digits
+        only.  ``int()`` would accept ``"+5"``, ``" 5 "`` and ``"1_0"`` —
+        nonconforming values other servers reject, and exactly the kind
+        of divergence request smuggling exploits.
+        """
         raw = self.get(name)
         if raw is None:
             return default
-        try:
-            return int(raw)
-        except ValueError as exc:
-            raise HTTPError(f"header {name} is not an integer: {raw!r}") from exc
+        if not (raw.isascii() and raw.isdigit()):
+            raise HTTPError(f"header {name} is not an integer: {raw!r}")
+        return int(raw)
 
     def has_token(self, name: str, token: str) -> bool:
         """True when any field named *name* lists *token* in its
@@ -141,7 +146,13 @@ class Headers:
             name, sep, value = line.partition(":")
             if not sep:
                 raise HTTPError(f"malformed header line: {line!r}")
-            headers.add(name.strip(), value)
+            if name != name.rstrip(" \t"):
+                # RFC 7230 section 3.2.4: whitespace between the field
+                # name and the colon is a smuggling-adjacent ambiguity —
+                # reject rather than repair.
+                raise HTTPError(
+                    f"whitespace before colon in header name: {line!r}")
+            headers.add(name, value)
         return headers
 
     def __contains__(self, name: object) -> bool:

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Tuple
 
-from repro.errors import HTTPError
+from repro.errors import HTTPError, InvalidContentLength
 from repro.http.headers import Headers
 from repro.http.status import StatusCode, reason_phrase
 
@@ -121,6 +121,27 @@ def _split_head(data: bytes) -> Tuple[str, bytes]:
     return head, body
 
 
+def validated_content_length(headers: Headers) -> int:
+    """The request's body length per RFC 7230 section 3.3.2, strictly.
+
+    Raises :class:`~repro.errors.HTTPError` for multiple *differing*
+    ``Content-Length`` fields (the classic smuggling vector — ``get``
+    would silently return the first); repeated identical values collapse
+    to one.  Raises :class:`~repro.errors.InvalidContentLength` for any
+    value that is not a plain ASCII-digit integer (negative, signed,
+    padded, or underscored values frame no body at all).
+    """
+    values = headers.get_all("content-length")
+    if not values:
+        return 0
+    if len(set(values)) > 1:
+        raise HTTPError(f"conflicting Content-Length fields: {values!r}")
+    raw = values[0]
+    if not (raw.isascii() and raw.isdigit()):
+        raise InvalidContentLength(f"invalid Content-Length: {raw!r}")
+    return int(raw)
+
+
 def parse_request(data: bytes) -> Request:
     """Parse a serialized request (head and body must be complete)."""
     head, body = _split_head(data)
@@ -130,7 +151,7 @@ def parse_request(data: bytes) -> Request:
         raise HTTPError(f"malformed request line: {lines[0]!r}")
     method, target, version = parts
     headers = Headers.parse_lines(lines[1:])
-    length = headers.get_int("content-length", 0) or 0
+    length = validated_content_length(headers)
     return Request(method=method, target=target, headers=headers,
                    version=version, body=body[:length])
 

@@ -17,6 +17,7 @@ class StatusCode(IntEnum):
     """The status codes the DCWS servers and clients understand."""
 
     OK = 200
+    PARTIAL_CONTENT = 206
     MOVED_PERMANENTLY = 301
     FOUND = 302
     NOT_MODIFIED = 304
@@ -24,6 +25,7 @@ class StatusCode(IntEnum):
     FORBIDDEN = 403
     NOT_FOUND = 404
     REQUEST_TIMEOUT = 408
+    RANGE_NOT_SATISFIABLE = 416
     INTERNAL_SERVER_ERROR = 500
     NOT_IMPLEMENTED = 501
     BAD_GATEWAY = 502
@@ -32,6 +34,7 @@ class StatusCode(IntEnum):
 
 STATUS_REASONS: Dict[int, str] = {
     StatusCode.OK: "OK",
+    StatusCode.PARTIAL_CONTENT: "Partial Content",
     StatusCode.MOVED_PERMANENTLY: "Moved Permanently",
     StatusCode.FOUND: "Found",
     StatusCode.NOT_MODIFIED: "Not Modified",
@@ -39,6 +42,7 @@ STATUS_REASONS: Dict[int, str] = {
     StatusCode.FORBIDDEN: "Forbidden",
     StatusCode.NOT_FOUND: "Not Found",
     StatusCode.REQUEST_TIMEOUT: "Request Timeout",
+    StatusCode.RANGE_NOT_SATISFIABLE: "Range Not Satisfiable",
     StatusCode.INTERNAL_SERVER_ERROR: "Internal Server Error",
     StatusCode.NOT_IMPLEMENTED: "Not Implemented",
     StatusCode.BAD_GATEWAY: "Bad Gateway",

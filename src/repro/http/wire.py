@@ -29,8 +29,12 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.errors import HTTPError
-from repro.http.messages import Request, parse_request
+from repro.errors import (
+    HTTPError,
+    InvalidContentLength,
+    RecoverableProtocolError,
+)
+from repro.http.messages import Request, parse_request, validated_content_length
 
 #: Default bound on one buffered request (head + body), matching the
 #: limit both front ends enforced historically.
@@ -88,14 +92,30 @@ class RequestParser:
         called, "the stream ended cleanly at a request boundary".  EOF
         with a partial request buffered raises :class:`HTTPError`, as
         does a malformed head or an over-limit body.
+
+        Content-Length is validated strictly before it frames anything.
+        A value that is not a plain non-negative integer raises
+        :class:`~repro.errors.RecoverableProtocolError` *after consuming
+        exactly the offending head* — such a value frames no body, so the
+        connection stays correctly delimited and the next pipelined
+        request still parses.  (Trusting the raw value was the original
+        desync bug: a negative length shrank the buffer delete below the
+        head and left residual head bytes framing every later request.)
+        Multiple *differing* Content-Length fields are ambiguous framing —
+        the request-smuggling vector — and raise plain
+        :class:`HTTPError`: the connection must close.
         """
         head_end = self._find_head_end()
         if head_end < 0:
             if self._eof and self._buffer:
                 raise HTTPError("connection closed before request completed")
             return None
-        request = parse_request(bytes(self._buffer[:head_end + 4]))
-        expected = request.headers.get_int("content-length", 0) or 0
+        try:
+            request = parse_request(bytes(self._buffer[:head_end + 4]))
+        except InvalidContentLength as exc:
+            self._consume(head_end + 4)
+            raise RecoverableProtocolError(str(exc)) from exc
+        expected = validated_content_length(request.headers)
         needed = head_end + 4 + expected
         if needed > self.max_request:
             raise HTTPError("request exceeds size limit")
@@ -105,10 +125,14 @@ class RequestParser:
                                 "completed")
             return None
         request.body = bytes(self._buffer[head_end + 4:needed])
-        del self._buffer[:needed]
+        self._consume(needed)
+        return request
+
+    def _consume(self, count: int) -> None:
+        """Drop *count* leading buffer bytes and reset the head-scan cache."""
+        del self._buffer[:count]
         self._head_end = -1
         self._scanned = 0
-        return request
 
     def _find_head_end(self) -> int:
         """Position of the current request's head terminator, cached.

@@ -50,9 +50,18 @@ def render_status(engine) -> str:
         "",
         f"requests                {stats.requests}",
         f"  200 OK                {stats.responses_200}",
+        f"  206 partial           {stats.responses_206}",
         f"  301 redirects         {stats.responses_301}",
         f"  304 not modified      {stats.responses_304}",
+        f"    via client validators {stats.conditional_304s}",
         f"  404 not found         {stats.responses_404}",
+        f"  416 bad range         {stats.responses_416}",
+        f"  503 unavailable       {stats.responses_503}",
+        f"gzip responses          {stats.gzip_responses}",
+        f"  bytes saved           {stats.gzip_bytes_saved}",
+        f"shed under overload     "
+        f"{stats.regenerations_shed + stats.pulls_shed} "
+        f"(regen {stats.regenerations_shed}, pull {stats.pulls_shed})",
         f"reconstructions         {stats.reconstructions}",
         f"  via template splice   {stats.splices}",
         f"migrations              {stats.migrations}",

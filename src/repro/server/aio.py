@@ -56,7 +56,7 @@ from typing import Callable, Deque, Dict, Optional, TYPE_CHECKING
 from repro.client.breaker import build_breaker
 from repro.client.pool import ConnectionPool
 from repro.client.realclient import http_fetch
-from repro.errors import HTTPError, ReproError
+from repro.errors import HTTPError, RecoverableProtocolError, ReproError
 from repro.http.messages import (
     Request,
     Response,
@@ -384,6 +384,17 @@ class AsyncDCWSServer(BlockingDirectiveMixin, DurabilityMixin):
                 and conn.sock in self._connections:
             try:
                 request = conn.parser.next_request()
+            except RecoverableProtocolError as exc:
+                # The parser consumed exactly the offending request (its
+                # invalid Content-Length frames no body): answer 400 on
+                # the still-correctly-delimited stream and keep pumping —
+                # the next pipelined request parses normally.
+                response = error_response(StatusCode.BAD_REQUEST, str(exc))
+                response.headers.set("Connection", "keep-alive")
+                placeholder = Request(method="GET", target="/",
+                                      version="HTTP/1.1")
+                self._enqueue_response(conn, placeholder, response)
+                continue
             except HTTPError:
                 self._fail(conn, StatusCode.BAD_REQUEST)
                 return
@@ -408,7 +419,15 @@ class AsyncDCWSServer(BlockingDirectiveMixin, DurabilityMixin):
 
     def _handle_request(self, conn: _Connection, request: Request,
                         now: float) -> None:
+        config = self.engine.config
+        # This front end's pressure signal is open-connection count
+        # against the admission cap: at or above shed_pressure the engine
+        # sheds its expensive tier (regenerations, first-use pulls) while
+        # cache hits and 304s keep flowing.
+        pressure = len(self._connections) / config.max_connections
         with self._lock:
+            self.engine.overloaded = (config.tiered_shedding
+                                      and pressure >= config.shed_pressure)
             result = self.engine.handle_request(request, now)
         if isinstance(result, EngineReply):
             self._enqueue_response(conn, request, result.response)

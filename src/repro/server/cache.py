@@ -162,12 +162,22 @@ class CachingStore(DocumentStore):
 
 @dataclass(frozen=True)
 class CachedResponse:
-    """One rendered 200: shared immutable body plus the header facts."""
+    """One rendered 200: shared immutable body plus the header facts.
+
+    ``etag``/``last_modified`` are the HTTP validators derived from
+    ``(name, version)``; ``gzip_body`` is the pre-compressed variant
+    stored alongside the identity body (``None`` when compression is not
+    worthwhile), so gzip negotiation on a cache hit costs a header check,
+    never a compression pass.
+    """
 
     body: bytes
     content_length: int
     content_type: str
     version: str
+    etag: str = ""
+    last_modified: str = ""
+    gzip_body: Optional[bytes] = None
 
 
 class ResponseCache:
@@ -175,7 +185,10 @@ class ResponseCache:
 
     Bounded by entry count.  ``invalidate(name)`` drops every version and
     method of *name* — used when a regeneration or a hosted-copy refresh
-    rewrites bytes without the version changing observably.
+    rewrites bytes without the version changing observably.  A per-name
+    key index keeps that O(cached versions of *name*): migration events
+    invalidate on the hot path, and a scan of every entry under the lock
+    would make each invalidation O(total entries).
     """
 
     def __init__(self, capacity_entries: int) -> None:
@@ -183,6 +196,7 @@ class ResponseCache:
         self.stats = CacheStats()
         self._entries: "OrderedDict[Tuple[str, str, str], CachedResponse]" = \
             OrderedDict()
+        self._by_name: Dict[str, set] = {}
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
@@ -214,20 +228,35 @@ class ResponseCache:
         with self._lock:
             self._entries[key] = entry
             self._entries.move_to_end(key)
+            self._by_name.setdefault(name, set()).add(key)
             while len(self._entries) > self.capacity_entries:
-                self._entries.popitem(last=False)
+                evicted, __ = self._entries.popitem(last=False)
+                self._unindex(evicted)
                 self.stats.evictions += 1
 
     def invalidate(self, name: str) -> int:
-        """Drop every cached rendering of *name*; returns how many."""
+        """Drop every cached rendering of *name*; returns how many.
+
+        The per-name index makes this O(cached versions of *name*)
+        rather than a scan of every entry under the lock."""
         with self._lock:
-            stale = [key for key in self._entries if key[0] == name]
+            stale = self._by_name.pop(name, None)
+            if not stale:
+                return 0
             for key in stale:
                 del self._entries[key]
-            if stale:
-                self.stats.invalidations += len(stale)
+            self.stats.invalidations += len(stale)
             return len(stale)
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._by_name.clear()
+
+    def _unindex(self, key: Tuple[str, str, str]) -> None:
+        """Drop *key* from the per-name index (lock held by caller)."""
+        keys = self._by_name.get(key[0])
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._by_name[key[0]]

@@ -54,6 +54,16 @@ from repro.core.naming import (
     migrated_url,
 )
 from repro.errors import DocumentNotFound, NamingError
+from repro.http.content import (
+    RANGE_UNSATISFIABLE,
+    accepts_gzip,
+    content_range,
+    etag_for,
+    last_modified_for,
+    maybe_gzip,
+    not_modified,
+    parse_range,
+)
 from repro.html.links import extract_links
 from repro.html.parser import parse_html
 from repro.html.rewriter import rewrite_links
@@ -209,6 +219,13 @@ class EngineStats:
     template_builds: int = 0   # link templates built (each costs a parse)
     parses: int = 0
     responses_503: int = 0
+    responses_206: int = 0
+    responses_416: int = 0
+    conditional_304s: int = 0   # client-validator 304s (ETag/IMS), not peer
+    gzip_responses: int = 0
+    gzip_bytes_saved: int = 0   # identity length minus gzip length, summed
+    regenerations_shed: int = 0  # dirty regenerations refused under overload
+    pulls_shed: int = 0          # first-use co-op pulls refused under overload
     pulls_started: int = 0
     pulls_completed: int = 0
     pulls_degraded: int = 0    # failed pulls answered 302-to-home or 503
@@ -252,6 +269,11 @@ class DCWSEngine:
         # Host capability: the threaded server sets this so dirty-document
         # regeneration runs outside its engine lock (RegenerateAndServe).
         self.defer_regeneration = False
+        # Tiered shedding input: hosts set this before dispatching when
+        # their queue/connection pressure crosses ``config.shed_pressure``.
+        # While True, expensive work (regenerations, first-use pulls) is
+        # shed with 503 while cache hits and 304s keep being served.
+        self.overloaded = False
         self.graph = LocalDocumentGraph(
             location, enforce_entry_home=config.protect_entry_points)
         self.glt = GlobalLoadTable(location)
@@ -531,6 +553,13 @@ class DCWSEngine:
         reconstructed = False
         spliced = False
         if record.dirty and record.is_html:
+            if self.overloaded and self.config.tiered_shedding:
+                # Tier 2 of overload handling: a dirty document needs a
+                # regeneration pass before it can be served — refuse that
+                # expense while the front end reports pressure.  Clean
+                # documents (the cheap tier) keep serving below.
+                return self._shed(request, now, doc_name=record.name,
+                                  kind="regeneration")
             if self.defer_regeneration:
                 # Lock-scope reduction: hand the splice to the host so the
                 # string work runs outside the engine lock.
@@ -560,20 +589,41 @@ class DCWSEngine:
             self.stats.responses_304 += 1
             return self._finish(request, response, now, doc_name=record.name,
                                 reconstructed=reconstructed, spliced=spliced)
+        # Client conditional GET: validators derive from (name, version),
+        # so both the 304 check and the 304 itself need no store read.
+        # Safe because every byte change bumps the version (author updates
+        # directly; migration events dirty referrers with a bump, and
+        # dirty documents regenerate before reaching this point).
+        etag = etag_for(record.name, record.version)
+        last_modified = last_modified_for(record.version)
+        if not_modified(request.headers, etag, last_modified):
+            response = Response(status=StatusCode.NOT_MODIFIED)
+            response.headers.set("ETag", etag)
+            response.headers.set("Last-Modified", last_modified)
+            response.headers.set(VERSION_HEADER, str(record.version))
+            self.stats.responses_304 += 1
+            self.stats.conditional_304s += 1
+            return self._finish(request, response, now, doc_name=record.name,
+                                reconstructed=reconstructed, spliced=spliced)
         cached = self.response_cache.get(record.name, record.version,
                                          request.method)
         if cached is None:
             data = self.store.get(record.name)
+            gzip_body = None
+            if request.method == "GET" and self.config.gzip_enabled:
+                gzip_body = maybe_gzip(data, record.content_type,
+                                       self.config.gzip_min_bytes)
             cached = CachedResponse(
                 body=b"" if request.method == "HEAD" else data,
                 content_length=len(data),
                 content_type=record.content_type,
-                version=str(record.version))
+                version=str(record.version),
+                etag=etag,
+                last_modified=last_modified,
+                gzip_body=gzip_body)
             self.response_cache.put(record.name, record.version,
                                     request.method, cached)
-        response = Response(status=StatusCode.OK, body=cached.body)
-        response.headers.set("Content-Type", cached.content_type)
-        response.headers.set("Content-Length", str(cached.content_length))
+        response = self._entity_response(request, cached)
         response.headers.set(VERSION_HEADER, cached.version)
         if self.entry_gate is not None and record.entry_point:
             # Gate cookies are time-dependent, so they are applied per
@@ -581,9 +631,80 @@ class DCWSEngine:
             response.headers.set("Set-Cookie", build_set_cookie(
                 COOKIE_NAME, self.entry_gate.issue(now),
                 max_age=int(self.config.entry_gate_ttl)))
-        self.stats.responses_200 += 1
         return self._finish(request, response, now, doc_name=record.name,
                             reconstructed=reconstructed, spliced=spliced)
+
+    def _entity_response(self, request: Request,
+                         cached: CachedResponse) -> Response:
+        """Build the 200/206/416 for one cached rendering.
+
+        Negotiates ``Range`` (single byte range against the identity
+        representation) and ``Accept-Encoding: gzip`` (the pre-compressed
+        variant stored at cache-fill time) and counts the outcome.  The
+        validators ride on every flavor so a client can revalidate
+        whatever it received.
+        """
+        response = Response(status=StatusCode.OK, body=cached.body)
+        response.headers.set("Content-Type", cached.content_type)
+        response.headers.set("Content-Length", str(cached.content_length))
+        response.headers.set("Accept-Ranges", "bytes")
+        if cached.etag:
+            response.headers.set("ETag", cached.etag)
+        if cached.last_modified:
+            response.headers.set("Last-Modified", cached.last_modified)
+        if cached.gzip_body is not None:
+            # The representation depends on Accept-Encoding whenever a
+            # compressed variant exists — even when this response is the
+            # identity one — or a shared cache would serve gzip to all.
+            response.headers.set("Vary", "Accept-Encoding")
+        range_header = request.headers.get("Range")
+        if range_header and request.method == "GET":
+            span = parse_range(range_header, cached.content_length)
+            if span is RANGE_UNSATISFIABLE:
+                response.status = StatusCode.RANGE_NOT_SATISFIABLE
+                response.body = b""
+                response.headers.set("Content-Length", "0")
+                response.headers.set(
+                    "Content-Range", f"bytes */{cached.content_length}")
+                self.stats.responses_416 += 1
+                return response
+            if span is not None:
+                start, end = span
+                response.status = StatusCode.PARTIAL_CONTENT
+                response.body = cached.body[start:end + 1]
+                response.headers.set("Content-Range",
+                                     content_range(span,
+                                                   cached.content_length))
+                response.headers.set("Content-Length", str(end - start + 1))
+                self.stats.responses_206 += 1
+                return response
+        if cached.gzip_body is not None and request.method == "GET" \
+                and accepts_gzip(request.headers):
+            response.body = cached.gzip_body
+            response.headers.set("Content-Encoding", "gzip")
+            response.headers.set("Content-Length",
+                                 str(len(cached.gzip_body)))
+            self.stats.gzip_responses += 1
+            self.stats.gzip_bytes_saved += \
+                cached.content_length - len(cached.gzip_body)
+        self.stats.responses_200 += 1
+        return response
+
+    def _shed(self, request: Request, now: float, *, doc_name: str,
+              kind: str) -> EngineReply:
+        """Refuse one expensive request under overload (tier 2 shedding):
+        503 + Retry-After, counted as a drop so advertised load rises."""
+        reply = error_response(StatusCode.SERVICE_UNAVAILABLE,
+                               "server overloaded; retry shortly")
+        reply.headers.set("Retry-After", "1")
+        self.stats.responses_503 += 1
+        if kind == "regeneration":
+            self.stats.regenerations_shed += 1
+        else:
+            self.stats.pulls_shed += 1
+        self.metrics.record_drop(now)
+        self.log.record(now, "shed", name=doc_name, what=kind)
+        return self._finish(request, reply, now, doc_name=doc_name)
 
     def _gate_passes(self, request: Request, now: float) -> bool:
         cookie_header = request.headers.get("Cookie", "") or ""
@@ -646,9 +767,26 @@ class DCWSEngine:
             self.hosted[key] = hosted
         hosted.hits += 1
         if not hosted.fetched:
+            if self.overloaded and self.config.tiered_shedding:
+                # First-use pull is the co-op's expensive tier: refuse it
+                # under pressure; already-fetched copies keep serving.
+                return self._shed(request, now, doc_name=key, kind="pull")
             # Lazy migration, sub-condition 1 (section 4.2): no local copy
             # yet — pull from the home server, then serve and cache.
             return self._start_pull(request, key, home, original)
+        # Hosted copies carry the home's version, so client conditional
+        # GETs validate here without touching the store — a versionless
+        # copy (legacy pull) simply skips the validator machinery.
+        etag = etag_for(key, hosted.version) if hosted.version else ""
+        last_modified = last_modified_for(hosted.version) \
+            if hosted.version else ""
+        if etag and not_modified(request.headers, etag, last_modified):
+            response = Response(status=StatusCode.NOT_MODIFIED)
+            response.headers.set("ETag", etag)
+            response.headers.set("Last-Modified", last_modified)
+            self.stats.responses_304 += 1
+            self.stats.conditional_304s += 1
+            return self._finish(request, response, now, doc_name=key)
         cached = self.response_cache.get(key, hosted.version, request.method) \
             if hosted.version else None
         if cached is None:
@@ -664,20 +802,24 @@ class DCWSEngine:
                 self.response_cache.invalidate(key)
                 self.log.record(now, "pull", key=key, reason="missing-bytes")
                 return self._start_pull(request, key, home, original)
+            gzip_body = None
+            if request.method == "GET" and self.config.gzip_enabled:
+                gzip_body = maybe_gzip(data, hosted.content_type,
+                                       self.config.gzip_min_bytes)
             cached = CachedResponse(
                 body=b"" if request.method == "HEAD" else data,
                 content_length=len(data),
                 content_type=hosted.content_type,
-                version=hosted.version)
+                version=hosted.version,
+                etag=etag,
+                last_modified=last_modified,
+                gzip_body=gzip_body)
             if hosted.version:
                 # Never cache versionless copies: two pulls of the same
                 # key could then collide across re-migrations.
                 self.response_cache.put(key, hosted.version, request.method,
                                         cached)
-        response = Response(status=StatusCode.OK, body=cached.body)
-        response.headers.set("Content-Type", cached.content_type)
-        response.headers.set("Content-Length", str(cached.content_length))
-        self.stats.responses_200 += 1
+        response = self._entity_response(request, cached)
         return self._finish(request, response, now, doc_name=key)
 
     def _start_pull(self, request: Request, key: str, home: Location,

@@ -32,6 +32,14 @@ class ClusterSample:
     # Lifetime circuit-breaker trips (closed→open transitions) summed
     # across every engine whose host wired a breaker up.
     breaker_trips: int = 0
+    # HTTP serve-path realism, summed across engines: share of requests
+    # answered 304 off client validators, gzip responses sent, identity
+    # bytes saved by compression, and expensive requests shed under the
+    # tiered-overload rule.
+    conditional_304_rate: float = 0.0
+    gzip_responses: int = 0
+    gzip_bytes_saved: int = 0
+    shed_requests: int = 0
     # Durability posture at sample time, summed across engines whose
     # host attached a write-ahead journal: un-checkpointed journal bytes
     # and records (recovery replay cost), the highest LSN in the
@@ -65,6 +73,11 @@ def sample_cluster(now: float, engines: Iterable[DCWSEngine]) -> ClusterSample:
     cache_hits = 0
     cache_lookups = 0
     breaker_trips = 0
+    requests = 0
+    conditional_304s = 0
+    gzip_responses = 0
+    gzip_bytes_saved = 0
+    shed_requests = 0
     wal_bytes = 0
     wal_records = 0
     wal_last_lsn = 0
@@ -82,6 +95,12 @@ def sample_cluster(now: float, engines: Iterable[DCWSEngine]) -> ClusterSample:
         cache_lookups += engine.response_cache.stats.lookups
         if engine.breaker is not None:
             breaker_trips += engine.breaker.total_trips()
+        requests += engine.stats.requests
+        conditional_304s += engine.stats.conditional_304s
+        gzip_responses += engine.stats.gzip_responses
+        gzip_bytes_saved += engine.stats.gzip_bytes_saved
+        shed_requests += (engine.stats.regenerations_shed
+                          + engine.stats.pulls_shed)
         journal = engine.journal
         if journal is not None:
             wal_bytes += journal.size_bytes
@@ -103,6 +122,12 @@ def sample_cluster(now: float, engines: Iterable[DCWSEngine]) -> ClusterSample:
                              cache_hits / cache_lookups if cache_lookups
                              else 0.0),
                          breaker_trips=breaker_trips,
+                         conditional_304_rate=(
+                             conditional_304s / requests if requests
+                             else 0.0),
+                         gzip_responses=gzip_responses,
+                         gzip_bytes_saved=gzip_bytes_saved,
+                         shed_requests=shed_requests,
                          wal_bytes=wal_bytes,
                          wal_records_since_checkpoint=wal_records,
                          wal_last_lsn=wal_last_lsn,

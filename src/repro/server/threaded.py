@@ -39,7 +39,7 @@ from typing import List, Optional, TYPE_CHECKING
 from repro.client.breaker import build_breaker
 from repro.client.pool import ConnectionPool
 from repro.client.realclient import http_fetch
-from repro.errors import HTTPError, ReproError
+from repro.errors import HTTPError, RecoverableProtocolError, ReproError
 from repro.http.messages import (
     Request,
     Response,
@@ -257,6 +257,24 @@ class ThreadedDCWSServer(BlockingDirectiveMixin, DurabilityMixin):
                 request = reader.read_request()
             except socket.timeout:
                 return  # idle keep-alive connection (or stalled peer)
+            except RecoverableProtocolError as exc:
+                # The parser consumed exactly the offending request (its
+                # invalid Content-Length frames no body), so the stream is
+                # still correctly delimited: answer 400 and keep serving —
+                # the next pipelined request parses normally.
+                served += 1
+                keep = (config.keep_alive
+                        and served < config.keep_alive_max_requests)
+                response = error_response(StatusCode.BAD_REQUEST, str(exc))
+                response.headers.set(
+                    "Connection", "keep-alive" if keep else "close")
+                try:
+                    connection.sendall(response.serialize())
+                except OSError:
+                    return
+                if not keep:
+                    return
+                continue
             except (HTTPError, OSError):
                 _send_quietly(connection, error_response(
                     StatusCode.BAD_REQUEST))
@@ -282,7 +300,16 @@ class ThreadedDCWSServer(BlockingDirectiveMixin, DurabilityMixin):
 
     def _dispatch(self, request: Request) -> Response:
         now = time.monotonic()
+        config = self.engine.config
+        # Queue depth is this front end's pressure signal: at or above
+        # shed_pressure of the bounded hand-off queue, the engine sheds
+        # its expensive tier (regenerations, first-use pulls) while cache
+        # hits and 304s keep flowing.  qsize() is read without the lock —
+        # an approximate reading is exactly what a pressure signal needs.
+        pressure = self._connections.qsize() / config.socket_queue_length
         with self._lock:
+            self.engine.overloaded = (config.tiered_shedding
+                                      and pressure >= config.shed_pressure)
             result = self.engine.handle_request(request, now)
         if isinstance(result, EngineReply):
             return result.response

@@ -1,0 +1,176 @@
+"""Unit tests for serve-path content negotiation (repro.http.content):
+validator derivation, conditional-request evaluation, gzip variants, and
+single-range parsing."""
+
+import pytest
+
+from repro.http.content import (
+    DCWS_EPOCH,
+    RANGE_UNSATISFIABLE,
+    accepts_gzip,
+    compressible,
+    content_range,
+    etag_for,
+    etag_matches,
+    gunzip_bytes,
+    gzip_bytes,
+    http_date,
+    last_modified_for,
+    maybe_gzip,
+    not_modified,
+    parse_http_date,
+    parse_range,
+    version_timestamp,
+)
+from repro.http.headers import Headers
+
+
+class TestValidators:
+    def test_etag_is_strong_and_version_sensitive(self):
+        tag = etag_for("/a.html", 3)
+        assert tag.startswith('"') and tag.endswith('"')
+        assert tag != etag_for("/a.html", 4)
+        assert tag != etag_for("/b.html", 3)
+
+    def test_etag_deterministic(self):
+        assert etag_for("/a.html", 1) == etag_for("/a.html", 1)
+
+    def test_last_modified_monotonic_in_version(self):
+        t1 = parse_http_date(last_modified_for(1))
+        t2 = parse_http_date(last_modified_for(2))
+        assert t1 is not None and t2 is not None and t2 > t1
+
+    def test_version_timestamp_numeric(self):
+        assert version_timestamp(0) == DCWS_EPOCH
+        assert version_timestamp("7") == DCWS_EPOCH + 7
+
+    def test_version_timestamp_opaque_is_stable(self):
+        assert version_timestamp("v-abc") == version_timestamp("v-abc")
+
+    def test_http_date_round_trip(self):
+        assert parse_http_date(http_date(DCWS_EPOCH)) == DCWS_EPOCH
+
+    def test_parse_http_date_malformed(self):
+        assert parse_http_date("not a date") is None
+        assert parse_http_date("") is None
+
+
+class TestEtagMatching:
+    def test_exact_match(self):
+        assert etag_matches('"abc-1"', '"abc-1"')
+
+    def test_wildcard(self):
+        assert etag_matches("*", '"anything"')
+
+    def test_list_and_weak_prefix(self):
+        assert etag_matches('"x", W/"abc-1", "y"', '"abc-1"')
+
+    def test_mismatch(self):
+        assert not etag_matches('"abc-1"', '"abc-2"')
+
+
+class TestNotModified:
+    ETAG = '"abc-1"'
+    LM = http_date(DCWS_EPOCH + 1)
+
+    def headers(self, **fields):
+        headers = Headers()
+        for name, value in fields.items():
+            headers.set(name.replace("_", "-"), value)
+        return headers
+
+    def test_matching_etag(self):
+        assert not_modified(self.headers(If_None_Match=self.ETAG),
+                            self.ETAG, self.LM)
+
+    def test_etag_precedence_over_ims(self):
+        # RFC 7232 section 6: a non-matching INM must win even when IMS
+        # would validate.
+        headers = self.headers(If_None_Match='"other"',
+                               If_Modified_Since=self.LM)
+        assert not not_modified(headers, self.ETAG, self.LM)
+
+    def test_ims_equal_date_validates(self):
+        assert not_modified(self.headers(If_Modified_Since=self.LM),
+                            self.ETAG, self.LM)
+
+    def test_ims_older_date_does_not_validate(self):
+        old = http_date(DCWS_EPOCH)
+        assert not not_modified(self.headers(If_Modified_Since=old),
+                                self.ETAG, self.LM)
+
+    def test_ims_malformed_does_not_validate(self):
+        assert not not_modified(self.headers(If_Modified_Since="garbage"),
+                                self.ETAG, self.LM)
+
+    def test_unconditional_request(self):
+        assert not not_modified(Headers(), self.ETAG, self.LM)
+
+
+class TestGzip:
+    def test_round_trip_and_determinism(self):
+        data = b"<html>" + b"hello world " * 100 + b"</html>"
+        compressed = gzip_bytes(data)
+        assert gunzip_bytes(compressed) == data
+        assert gzip_bytes(data) == compressed
+
+    def test_maybe_gzip_compressible_html(self):
+        data = b"x" * 4096
+        variant = maybe_gzip(data, "text/html")
+        assert variant is not None and len(variant) < len(data)
+
+    def test_maybe_gzip_skips_small_bodies(self):
+        assert maybe_gzip(b"tiny", "text/html") is None
+
+    def test_maybe_gzip_skips_images(self):
+        assert maybe_gzip(b"GIF89a" + b"\x00" * 4096, "image/gif") is None
+
+    def test_compressible_types(self):
+        assert compressible("text/html; charset=utf-8")
+        assert compressible("application/json")
+        assert not compressible("image/png")
+        assert not compressible("application/octet-stream")
+
+    def test_accepts_gzip_variants(self):
+        def accepts(value):
+            return accepts_gzip(Headers([("Accept-Encoding", value)]))
+        assert accepts("gzip")
+        assert accepts("gzip, deflate")
+        assert accepts("deflate, gzip;q=0.5")
+        assert accepts("x-gzip")
+        assert not accepts("gzip;q=0")
+        assert not accepts("identity")
+        assert not accepts_gzip(Headers())
+
+
+class TestParseRange:
+    def test_closed_range(self):
+        assert parse_range("bytes=0-99", 1000) == (0, 99)
+
+    def test_open_ended(self):
+        assert parse_range("bytes=900-", 1000) == (900, 999)
+
+    def test_suffix(self):
+        assert parse_range("bytes=-100", 1000) == (900, 999)
+
+    def test_suffix_larger_than_entity(self):
+        assert parse_range("bytes=-5000", 1000) == (0, 999)
+
+    def test_end_clamped_to_entity(self):
+        assert parse_range("bytes=500-9999", 1000) == (500, 999)
+
+    def test_start_past_end_of_entity_unsatisfiable(self):
+        assert parse_range("bytes=1000-", 1000) is RANGE_UNSATISFIABLE
+
+    def test_zero_suffix_unsatisfiable(self):
+        assert parse_range("bytes=-0", 1000) is RANGE_UNSATISFIABLE
+
+    @pytest.mark.parametrize("value", [
+        "chars=0-5", "bytes=", "bytes=a-b", "bytes=5", "bytes=9-5",
+        "bytes=0-5,10-15", "bytes=--5",
+    ])
+    def test_ignored_specs_mean_full_200(self, value):
+        assert parse_range(value, 1000) is None
+
+    def test_content_range_rendering(self):
+        assert content_range((0, 99), 1000) == "bytes 0-99/1000"

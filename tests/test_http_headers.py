@@ -84,6 +84,18 @@ class TestIntParsing:
         with pytest.raises(HTTPError):
             headers.get_int("content-length")
 
+    @pytest.mark.parametrize("value", ["+5", "-5", "1_0", "0x10", "4.2",
+                                       "5³", "١٢"])
+    def test_get_int_is_strict_ascii_digits(self, value):
+        # bare int() accepts signs, underscores and non-ASCII digits —
+        # framing-relevant divergence other servers reject.
+        headers = Headers([("Content-Length", value)])
+        with pytest.raises(HTTPError):
+            headers.get_int("content-length")
+
+    def test_get_int_leading_zeros_accepted(self):
+        assert Headers([("X-N", "007")]).get_int("x-n") == 7
+
 
 class TestSerializeParse:
     def test_serialize_round_trip(self):
@@ -112,6 +124,16 @@ class TestSerializeParse:
         parsed = Headers.parse_lines(["A: 1", "", "B: 2"])
         assert parsed.get("a") == "1"
         assert parsed.get("b") == "2"
+
+    @pytest.mark.parametrize("line", ["Content-Length : 5",
+                                      "Content-Length\t: 5",
+                                      "Host  : h"])
+    def test_parse_lines_rejects_space_before_colon(self, line):
+        # RFC 7230 section 3.2.4: whitespace between field name and colon
+        # must be rejected — proxies disagree on whether "Content-Length "
+        # names Content-Length, which is a smuggling ambiguity.
+        with pytest.raises(HTTPError):
+            Headers.parse_lines([line])
 
 
 class TestEquality:

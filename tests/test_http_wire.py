@@ -8,7 +8,7 @@ framing, pipelining, dribbled feeds, EOF semantics, size limits.
 
 import pytest
 
-from repro.errors import HTTPError
+from repro.errors import HTTPError, RecoverableProtocolError
 from repro.http.wire import DEFAULT_MAX_REQUEST, RequestParser
 
 
@@ -103,6 +103,87 @@ class TestEOF:
         parser.feed_eof()
         with pytest.raises(HTTPError):
             parser.feed(b"GET / HTTP/1.0\r\n\r\n")
+
+
+class TestContentLengthStrictness:
+    """The framing bugfix: Content-Length is validated before it frames.
+
+    The original code trusted the raw value — ``Content-Length: -20``
+    made ``needed < head_end + 4``, so the buffer delete stopped short of
+    the head and the residue desynced every later pipelined request.
+    """
+
+    def test_negative_content_length_recoverable(self):
+        parser = RequestParser()
+        parser.feed(b"POST /x HTTP/1.0\r\nContent-Length: -20\r\n\r\n")
+        with pytest.raises(RecoverableProtocolError):
+            parser.next_request()
+
+    def test_negative_content_length_does_not_desync_pipeline(self):
+        parser = RequestParser()
+        parser.feed(b"POST /evil HTTP/1.1\r\nContent-Length: -20\r\n\r\n"
+                    b"GET /next HTTP/1.1\r\nHost: h\r\n\r\n")
+        with pytest.raises(RecoverableProtocolError):
+            parser.next_request()
+        # The offending head was consumed exactly; the pipelined request
+        # behind it parses normally.
+        request = parser.next_request()
+        assert request.target == "/next"
+        assert not parser.buffered
+
+    # (" 5" / "5 " are absent: OWS around a field value is legal and
+    # stripped at parse; what must never pass is int()'s extra syntax.)
+    @pytest.mark.parametrize("value", [b"+5", b"-0", b"1_0", b"0x10",
+                                       b"5,5", b"", b"4.2", b"\xc2\xb3"])
+    def test_nonconforming_values_recoverable(self, value):
+        parser = RequestParser()
+        parser.feed(b"POST /x HTTP/1.0\r\nContent-Length: " + value
+                    + b"\r\n\r\nGET /ok HTTP/1.0\r\n\r\n")
+        with pytest.raises(RecoverableProtocolError):
+            parser.next_request()
+        assert parser.next_request().target == "/ok"
+
+    def test_conflicting_duplicate_content_length_fatal(self):
+        # Two differing Content-Length fields are the request-smuggling
+        # vector: framing is ambiguous, so the error is NOT recoverable —
+        # the connection must close.
+        parser = RequestParser()
+        parser.feed(b"POST /x HTTP/1.0\r\nContent-Length: 5\r\n"
+                    b"Content-Length: 30\r\n\r\nhello")
+        with pytest.raises(HTTPError) as excinfo:
+            parser.next_request()
+        assert not isinstance(excinfo.value, RecoverableProtocolError)
+
+    def test_equal_duplicate_content_length_accepted(self):
+        parser = RequestParser()
+        parser.feed(b"POST /x HTTP/1.0\r\nContent-Length: 5\r\n"
+                    b"Content-Length: 5\r\n\r\nhello")
+        assert parser.next_request().body == b"hello"
+
+    def test_invalid_length_split_across_feeds(self):
+        # The validator header straddling two feeds must behave exactly
+        # like a single feed: recoverable, pipeline intact.
+        parser = RequestParser()
+        for chunk in (b"POST /x HTTP/1.0\r\nContent-Le",
+                      b"ngth: -", b"7\r\n", b"\r\n",
+                      b"GET /after HTTP/1.0\r\n\r\n"):
+            parser.feed(chunk)
+        with pytest.raises(RecoverableProtocolError):
+            parser.next_request()
+        assert parser.next_request().target == "/after"
+
+    def test_overlong_content_length_still_fatal(self):
+        # A syntactically valid but over-limit length keeps the fatal
+        # path: the client really does intend to send that body.
+        parser = RequestParser(max_request=64)
+        parser.feed(b"POST /x HTTP/1.0\r\nContent-Length: 999999\r\n\r\n")
+        with pytest.raises(HTTPError) as excinfo:
+            parser.next_request()
+        assert not isinstance(excinfo.value, RecoverableProtocolError)
+
+    def test_recoverable_error_is_http_error(self):
+        # Hosts that only catch HTTPError still fail closed.
+        assert issubclass(RecoverableProtocolError, HTTPError)
 
 
 class TestLimits:

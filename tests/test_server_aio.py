@@ -158,6 +158,83 @@ class TestDeadlines:
         assert outcome.status == 200
 
 
+class TestServePathRealism:
+    def test_conditional_304_through_loop(self, server):
+        with connect(server) as sock:
+            sock.sendall(b"GET /d.html HTTP/1.1\r\nHost: h\r\n\r\n")
+            head = sock.recv(65536)
+            etag = re.search(rb'ETag: ("[^"]+")', head).group(1)
+            sock.sendall(b"GET /d.html HTTP/1.1\r\nHost: h\r\n"
+                         b"If-None-Match: " + etag + b"\r\n\r\n")
+            data = sock.recv(65536)
+        assert re.match(rb"HTTP/1\.\d 304 ", data)
+        # A 304 ends at its blank line — no body follows.
+        assert data.endswith(b"\r\n\r\n")
+
+    def test_gzip_negotiated_through_loop(self, server):
+        import gzip
+
+        with connect(server) as sock:
+            sock.sendall(b"GET /big.html HTTP/1.1\r\nHost: h\r\n"
+                         b"Accept-Encoding: gzip\r\n"
+                         b"Connection: close\r\n\r\n")
+            data = recv_until_close(sock)
+        head, __, body = data.partition(b"\r\n\r\n")
+        assert b"Content-Encoding: gzip" in head
+        assert b"Vary: Accept-Encoding" in head
+        assert gzip.decompress(body) == SITE["/big.html"]
+
+    def test_range_206_through_loop(self, server):
+        with connect(server) as sock:
+            sock.sendall(b"GET /big.html HTTP/1.1\r\nHost: h\r\n"
+                         b"Range: bytes=0-5\r\nConnection: close\r\n\r\n")
+            data = recv_until_close(sock)
+        head, __, body = data.partition(b"\r\n\r\n")
+        assert re.match(rb"HTTP/1\.\d 206 ", head)
+        assert body == SITE["/big.html"][:6]
+
+    def test_recoverable_400_keeps_pipeline_framed(self, server):
+        with connect(server) as sock:
+            sock.sendall(b"POST /x HTTP/1.1\r\nHost: h\r\n"
+                         b"Content-Length: -20\r\n\r\n"
+                         b"GET /d.html HTTP/1.1\r\nHost: h\r\n"
+                         b"Connection: close\r\n\r\n")
+            data = recv_until_close(sock)
+        statuses = re.findall(rb"HTTP/1\.\d (\d+) ", data)
+        assert statuses == [b"400", b"200"]
+
+    def test_conflicting_content_length_closes(self, server):
+        with connect(server) as sock:
+            sock.sendall(b"POST /x HTTP/1.1\r\nHost: h\r\n"
+                         b"Content-Length: 5\r\nContent-Length: 30\r\n\r\n"
+                         b"hello"
+                         b"GET /d.html HTTP/1.1\r\nHost: h\r\n\r\n")
+            data = recv_until_close(sock)  # server closes: fatal framing
+        statuses = re.findall(rb"HTTP/1\.\d (\d+) ", data)
+        assert statuses == [b"400"]
+
+    def test_connection_pressure_sheds_regeneration_only(self):
+        # One live connection out of max_connections=2 crosses the 0.5
+        # pressure threshold: dirty documents 503, clean ones still serve.
+        config = ServerConfig(stats_interval=60.0, pinger_interval=60.0,
+                              max_connections=2, shed_pressure=0.5)
+        with make_server(config) as server:
+            assert server.wait_ready()
+            with server._lock:
+                server.engine.update_document("/index.html",
+                                              SITE["/index.html"])
+            with connect(server) as sock:
+                sock.sendall(b"GET /index.html HTTP/1.1\r\nHost: h\r\n\r\n")
+                dirty = sock.recv(65536)
+                sock.sendall(b"GET /d.html HTTP/1.1\r\nHost: h\r\n\r\n")
+                clean = sock.recv(65536)
+            assert re.match(rb"HTTP/1\.\d 503 ", dirty)
+            assert b"Retry-After: 1" in dirty
+            assert re.match(rb"HTTP/1\.\d 200 ", clean)
+            with server._lock:
+                assert server.engine.stats.regenerations_shed == 1
+
+
 def _readable(sock: socket.socket) -> bool:
     import select
 

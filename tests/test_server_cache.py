@@ -182,6 +182,30 @@ class TestResponseCache:
         cache.put("/a", 1, "GET", self.entry())
         assert cache.get("/a", 1, "GET") is None
 
+    def test_name_index_survives_eviction(self):
+        # The per-name invalidation index must not retain keys the LRU
+        # already evicted (or re-invalidation would KeyError) and must
+        # keep covering the entries that remain.
+        cache = ResponseCache(2)
+        cache.put("/a", 1, "GET", self.entry())
+        cache.put("/a", 2, "GET", self.entry())
+        cache.put("/a", 3, "GET", self.entry())  # evicts ("/a", 1)
+        assert cache.invalidate("/a") == 2
+        assert cache.invalidate("/a") == 0
+        assert len(cache) == 0
+
+    def test_invalidate_unknown_name_is_noop(self):
+        cache = ResponseCache(4)
+        assert cache.invalidate("/missing") == 0
+        assert cache.stats.invalidations == 0
+
+    def test_put_same_key_twice_indexes_once(self):
+        cache = ResponseCache(4)
+        cache.put("/a", 1, "GET", self.entry())
+        cache.put("/a", 1, "GET", self.entry(body=b"newer"))
+        assert cache.invalidate("/a") == 1
+        assert len(cache) == 0
+
 
 class TestEngineResponseCache:
     def test_repeat_serve_hits_cache(self):
