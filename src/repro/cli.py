@@ -57,6 +57,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="socket front end: thread-per-connection "
                             "(the paper's prototype) or the nonblocking "
                             "event loop (thousands of keep-alive clients)")
+    serve.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="worker processes sharing the port "
+                            "(SO_REUSEPORT, or fd hand-off where "
+                            "unavailable); 1 = single-process")
 
     simulate = commands.add_parser(
         "simulate", help="run a virtual-time cluster experiment")
@@ -115,6 +119,44 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.time_factor != 1.0 else ServerConfig()
     if getattr(args, "wal_fsync", "interval") != config.wal_fsync:
         config = dataclasses.replace(config, wal_fsync=args.wal_fsync)
+    workers = getattr(args, "workers", 1)
+    if workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    if workers > 1:
+        from repro.server.multiproc import WorkerSupervisor, choose_mode
+
+        mode = choose_mode()
+        if mode is None:
+            print("warning: neither SO_REUSEPORT nor unix fd passing is "
+                  "available on this platform; running a single process",
+                  file=sys.stderr)
+            workers = 1
+        else:
+            def factory(index: int, location: Location) -> DCWSEngine:
+                return DCWSEngine(location, config, DiskStore(args.root),
+                                  entry_points=entries, peers=peers)
+
+            supervisor = WorkerSupervisor(
+                factory, workers, host=args.host, port=args.port,
+                mode=mode, stripes=config.lock_stripes,
+                server_options={"snapshot_path": args.state_file,
+                                "journal_path": getattr(args, "journal",
+                                                        None)})
+            supervisor.start()
+            print(f"DCWS server on http://{args.host}:{supervisor.port} "
+                  f"({len(names)} documents, {len(peers)} peers, "
+                  f"{workers} workers via {mode})")
+            print(f"workers: http://{args.host}:{supervisor.port}"
+                  f"/~dcws/workers")
+            try:
+                while True:
+                    time.sleep(1.0)
+            except KeyboardInterrupt:
+                print("\nshutting down")
+            finally:
+                supervisor.stop()
+            return 0
     engine = DCWSEngine(Location(args.host, args.port), config, store,
                         entry_points=entries, peers=peers)
     server_cls = (AsyncDCWSServer if getattr(args, "front_end", "threaded")

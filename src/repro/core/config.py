@@ -124,6 +124,21 @@ class ServerConfig:
     listen_backlog: int = 128
     max_connections: int = 1024
     write_buffer_limit: int = 256 * 1024
+    # Multi-core scale-out (repro.server.multiproc).  ``workers`` is the
+    # number of serving processes sharing the listen port (1 = the
+    # classic single-process front ends; >1 forks SO_REUSEPORT workers,
+    # each running its own aio loop).  ``lock_stripes`` sizes the striped
+    # per-shard locks and seqlock version stamps the engine uses for its
+    # lock-free clean-read fast path (hash(name) % lock_stripes); it also
+    # partitions document *ownership* across workers — per-document
+    # mutating work executes on the worker owning the document's shard.
+    # ``sendfile_min_bytes``: disk-backed bodies at least this large are
+    # served via os.sendfile on the threaded front end instead of being
+    # read into memory (and deliberately bypass the byte/response caches
+    # so one big file cannot flush the hot set).
+    workers: int = 1
+    lock_stripes: int = 16
+    sendfile_min_bytes: int = 256 * 1024
     # Failure-domain hardening: per-peer circuit breakers on the pooled
     # server-to-server channels.  After ``breaker_failure_threshold``
     # consecutive transport failures the peer's circuit opens and fetches
@@ -172,7 +187,8 @@ class ServerConfig:
             "keep_alive_timeout", "keep_alive_max_requests",
             "listen_backlog", "max_connections", "write_buffer_limit",
             "breaker_failure_threshold", "breaker_reset_timeout",
-            "breaker_half_open_probes",
+            "breaker_half_open_probes", "workers", "lock_stripes",
+            "sendfile_min_bytes",
         )
         for name in positive:
             if getattr(self, name) <= 0:

@@ -10,7 +10,7 @@ cannot tell which transport it is running on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.errors import HTTPError, InvalidContentLength
 from repro.http.headers import Headers
@@ -56,6 +56,21 @@ class Request:
         return head.encode("latin-1") + self.body
 
 
+@dataclass(frozen=True)
+class FileBody:
+    """A response body that still lives on disk.
+
+    Attached by the engine when a front end opted into ``os.sendfile``
+    delivery of large disk-backed documents: ``path`` is the on-disk
+    file and ``size`` the byte count the response's Content-Length was
+    computed from.  Front ends without sendfile support (and
+    :meth:`Response.serialize`) simply read the file.
+    """
+
+    path: str
+    size: int
+
+
 @dataclass
 class Response:
     """An HTTP response.
@@ -63,13 +78,16 @@ class Response:
     ``body`` carries the document bytes in real-transport mode.  In
     simulation mode the body may be empty while ``headers`` still carry the
     byte count the transport should account for (see
-    :class:`repro.sim.simserver.SimServer`).
+    :class:`repro.sim.simserver.SimServer`).  ``body_file`` (exclusive
+    with a non-empty ``body``) defers large disk-backed bodies to the
+    transport — ``socket.sendfile`` on the threaded front end.
     """
 
     status: int
     headers: Headers = field(default_factory=Headers)
     body: bytes = b""
     version: str = "HTTP/1.0"
+    body_file: Optional[FileBody] = None
 
     @property
     def reason(self) -> str:
@@ -79,13 +97,32 @@ class Response:
     def ok(self) -> bool:
         return 200 <= self.status < 300
 
-    def serialize(self) -> bytes:
-        """Render the response in wire form (always with Content-Length)."""
+    def body_length(self) -> int:
+        """Byte count of the entity this response will put on the wire."""
+        if self.body_file is not None and not self.body:
+            return self.body_file.size
+        return len(self.body)
+
+    def serialize_head(self) -> bytes:
+        """Render status line + headers + blank line, without the body.
+
+        Byte-identical prefix of :meth:`serialize`: front ends writev
+        ``[serialize_head(), body]`` so the (possibly large, shared,
+        cached) body is never concatenated per request.
+        """
         headers = self.headers.copy()
         if "content-length" not in headers:
-            headers.set("Content-Length", str(len(self.body)))
+            headers.set("Content-Length", str(self.body_length()))
         head = f"{self.version} {self.status} {self.reason}\r\n{headers.serialize()}\r\n"
-        return head.encode("latin-1") + self.body
+        return head.encode("latin-1")
+
+    def serialize(self) -> bytes:
+        """Render the response in wire form (always with Content-Length)."""
+        body = self.body
+        if self.body_file is not None and not body:
+            with open(self.body_file.path, "rb") as handle:
+                body = handle.read()
+        return self.serialize_head() + body
 
 
 def wants_keep_alive(version: str, headers: Headers) -> bool:

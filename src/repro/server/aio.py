@@ -85,8 +85,57 @@ _RECV_CHUNK = 65536
 _MAX_REQUEST = 1024 * 1024
 
 
+class _OutQueue:
+    """Outbound byte segments of one connection — zero-copy.
+
+    A deque of memoryview segments instead of one concatenated
+    ``bytearray``: queuing a response appends references to its (shared,
+    possibly cache-resident) head and body objects, never copying body
+    bytes into a per-connection buffer, and partial writes advance by
+    memoryview slicing.  ``len()`` is the total unsent byte count, so
+    the backpressure arithmetic against ``write_buffer_limit`` is
+    unchanged from the bytearray days.
+    """
+
+    __slots__ = ("_segments", "_size")
+
+    def __init__(self) -> None:
+        self._segments: Deque[memoryview] = collections.deque()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def append(self, data: bytes) -> None:
+        if not data:
+            return
+        self._segments.append(memoryview(data))
+        self._size += len(data)
+
+    def buffers(self, limit: int = 16) -> "list[memoryview]":
+        """Up to *limit* leading segments for one gather write (well
+        under any platform's IOV_MAX)."""
+        return [self._segments[index]
+                for index in range(min(limit, len(self._segments)))]
+
+    def advance(self, count: int) -> None:
+        """Consume *count* bytes off the front after a (partial) write."""
+        self._size -= count
+        while count and self._segments:
+            head = self._segments[0]
+            if count >= len(head):
+                count -= len(head)
+                self._segments.popleft()
+            else:
+                self._segments[0] = head[count:]
+                count = 0
+
+
 class _Connection:
-    """Per-connection state machine: parser in, byte buffer out.
+    """Per-connection state machine: parser in, segment queue out.
 
     ``deadline`` is the read deadman: armed at accept, re-armed when a
     request's *first* byte arrives (not on every byte — that is what
@@ -103,7 +152,7 @@ class _Connection:
     def __init__(self, sock: socket.socket, deadline: float) -> None:
         self.sock = sock
         self.parser = RequestParser(max_request=_MAX_REQUEST)
-        self.out = bytearray()
+        self.out = _OutQueue()
         self.served = 0
         self.deadline = deadline
         self.busy = False
@@ -155,25 +204,40 @@ class AsyncDCWSServer(BlockingDirectiveMixin, DurabilityMixin):
         self._wakeup_recv: Optional[socket.socket] = None
         self._wakeup_send: Optional[socket.socket] = None
         self._next_tick = 0.0
+        self._running = False
         self._init_dispatch()
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
-    def start(self) -> None:
-        """Bind, listen, and launch the loop thread and executor."""
-        if self._listener is not None:
+    def start(self, listener: Optional[socket.socket] = None, *,
+              accept_connections: bool = True) -> None:
+        """Bind, listen, and launch the loop thread and executor.
+
+        *listener* (already bound and listening) lets the multi-process
+        supervisor hand each worker its own ``SO_REUSEPORT`` listener;
+        ``accept_connections=False`` starts the loop with no accept path
+        at all — fd-handoff mode, where accepted client sockets arrive
+        through :meth:`adopt_connection` instead.
+        """
+        if self._running:
             raise ReproError("server already started")
         with self._lock:
             now = time.monotonic()
             self._recover_state(now)
             self._last_snapshot = now
-        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        listener.bind((self.bind_host, self.port))
-        listener.listen(self.engine.config.listen_backlog)
-        listener.setblocking(False)
+        if listener is None and accept_connections:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.bind_host, self.port))
+            listener.listen(self.engine.config.listen_backlog)
+        if listener is not None:
+            listener.setblocking(False)
+            try:
+                self.port = listener.getsockname()[1]
+            except (OSError, IndexError):
+                pass
         self._listener = listener
         self._executor = ThreadPoolExecutor(
             max_workers=self.engine.config.worker_threads,
@@ -182,12 +246,14 @@ class AsyncDCWSServer(BlockingDirectiveMixin, DurabilityMixin):
         self._wakeup_recv.setblocking(False)
         self._wakeup_send.setblocking(False)
         self._selector = selectors.DefaultSelector()
-        self._selector.register(listener, selectors.EVENT_READ,
-                                self._on_accept)
+        if listener is not None and accept_connections:
+            self._selector.register(listener, selectors.EVENT_READ,
+                                    self._on_accept)
         self._selector.register(self._wakeup_recv, selectors.EVENT_READ,
                                 self._on_wakeup)
         self._stop.clear()
         self._next_tick = time.monotonic() + self.tick_period
+        self._running = True
         self._thread = threading.Thread(target=self._run_loop,
                                         name=f"dcws-aio-{self.port}",
                                         daemon=True)
@@ -196,7 +262,7 @@ class AsyncDCWSServer(BlockingDirectiveMixin, DurabilityMixin):
 
     def stop(self) -> None:
         """Stop the loop, drain the executor, close everything."""
-        if self._listener is None:
+        if not self._running:
             return
         with self._lock:
             self._checkpoint_state(time.monotonic())
@@ -211,6 +277,7 @@ class AsyncDCWSServer(BlockingDirectiveMixin, DurabilityMixin):
         self._listener = None
         self._thread = None
         self._executor = None
+        self._running = False
         self._started.clear()
 
     def wait_ready(self, timeout: float = 5.0) -> bool:
@@ -305,27 +372,47 @@ class AsyncDCWSServer(BlockingDirectiveMixin, DurabilityMixin):
                 return
             except OSError:
                 return
-            self.connections_accepted += 1
-            sock.setblocking(False)
-            try:
-                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            except OSError:
-                pass
-            if len(self._connections) >= self.engine.config.max_connections:
-                self._shed(sock)
-                continue
-            conn = _Connection(sock, time.monotonic() + self.request_timeout)
-            self._connections[sock] = conn
-            self._selector.register(sock, selectors.EVENT_READ, conn)
-            conn.events = selectors.EVENT_READ
+            self._admit(sock)
+
+    def adopt_connection(self, sock: socket.socket) -> None:
+        """Adopt an already-accepted client connection (fd-handoff mode).
+
+        Thread-safe: the multi-process worker's channel thread calls this
+        with sockets received over ``recv_fds``; the socket enters the
+        loop through the self-pipe and then follows the exact same
+        admission rules as the accept path.
+        """
+        self._post(lambda: self._admit(sock))
+
+    def _admit(self, sock: socket.socket) -> None:
+        """Admission control for one new client socket (loop thread)."""
+        self.connections_accepted += 1
+        sock.setblocking(False)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        if len(self._connections) >= self.engine.config.max_connections:
+            self._shed(sock)
+            return
+        conn = _Connection(sock, time.monotonic() + self.request_timeout)
+        self._connections[sock] = conn
+        self._selector.register(sock, selectors.EVENT_READ, conn)
+        conn.events = selectors.EVENT_READ
 
     def _shed(self, sock: socket.socket) -> None:
         """Over the connection cap: graceful 503 drop at the edge.
 
-        Best-effort single nonblocking send — the overload that causes
-        shedding must never stall the accept path.  The drop is tallied
-        lock-free and drained into the engine metrics by the next tick,
-        so drop pressure still feeds the advertised load metric.
+        The 503 goes through the normal buffered write path — a real
+        :class:`_Connection` with ``close_after_flush`` set and reads
+        left paused — so a partial nonblocking send completes via
+        selector write events instead of truncating the response on the
+        wire (a bare ``send()`` here used to do exactly that under
+        pressure).  The accept path still never blocks: queuing is
+        nonblocking, and a client that refuses to drain its 503 is
+        reaped at the usual deadline.  The drop is tallied lock-free and
+        drained into the engine metrics by the next tick, so drop
+        pressure still feeds the advertised load metric.
         """
         self._drops_recorded += 1
         self.connections_shed += 1
@@ -333,11 +420,13 @@ class AsyncDCWSServer(BlockingDirectiveMixin, DurabilityMixin):
                                   "server overloaded")
         response.headers.set("Connection", "close")
         response.headers.set("Retry-After", "1")
-        try:
-            sock.send(response.serialize())
-        except OSError:
-            pass
-        close_quietly(sock)
+        conn = _Connection(sock, time.monotonic() + self.request_timeout)
+        conn.close_after_flush = True
+        conn.reads_paused = True
+        self._connections[sock] = conn
+        conn.out.append(response.serialize_head())
+        conn.out.append(response.body)
+        self._flush(conn)
 
     # -- per-connection reads -------------------------------------------
 
@@ -420,6 +509,10 @@ class AsyncDCWSServer(BlockingDirectiveMixin, DurabilityMixin):
     def _handle_request(self, conn: _Connection, request: Request,
                         now: float) -> None:
         config = self.engine.config
+        # Lock-free fast path: a clean cached read resolves (rendering
+        # included) without the engine lock; only the seqlock re-check
+        # and the counters run under it.
+        hit = self.engine.fast_lookup(request, now)
         # This front end's pressure signal is open-connection count
         # against the admission cap: at or above shed_pressure the engine
         # sheds its expensive tier (regenerations, first-use pulls) while
@@ -428,6 +521,11 @@ class AsyncDCWSServer(BlockingDirectiveMixin, DurabilityMixin):
         with self._lock:
             self.engine.overloaded = (config.tiered_shedding
                                       and pressure >= config.shed_pressure)
+            if hit is not None:
+                reply = self.engine.fast_commit(hit, request, now)
+                if reply is not None:
+                    self._enqueue_response(conn, request, reply.response)
+                    return
             result = self.engine.handle_request(request, now)
         if isinstance(result, EngineReply):
             self._enqueue_response(conn, request, result.response)
@@ -436,14 +534,10 @@ class AsyncDCWSServer(BlockingDirectiveMixin, DurabilityMixin):
         # re-enters the loop via the self-pipe.  One in-flight job per
         # connection keeps pipelined responses ordered.
         conn.busy = True
-        if isinstance(result, RegenerateAndServe):
-            work = self._execute_regeneration
-        else:
-            work = self._execute_pull
 
         def run(directive=result):
             try:
-                response = work(directive)
+                response = self._directive_work(directive)
             except Exception:
                 response = error_response(StatusCode.INTERNAL_SERVER_ERROR,
                                           "directive execution failed")
@@ -452,6 +546,17 @@ class AsyncDCWSServer(BlockingDirectiveMixin, DurabilityMixin):
                                                        response))
 
         self._executor.submit(run)
+
+    def _directive_work(self, directive: object) -> Response:
+        """Execute one blocking directive (executor thread).
+
+        Seam for the multi-process worker host, which overrides this to
+        forward directives touching shards owned by another worker over
+        the supervisor channel instead of executing them locally.
+        """
+        if isinstance(directive, RegenerateAndServe):
+            return self._execute_regeneration(directive)
+        return self._execute_pull(directive)
 
     def _complete_dispatch(self, conn: _Connection, request: Request,
                            response: Response) -> None:
@@ -474,17 +579,31 @@ class AsyncDCWSServer(BlockingDirectiveMixin, DurabilityMixin):
         if not keep:
             response.headers.set("Connection", "close")
             conn.close_after_flush = True
-        conn.out += response.serialize()
+        self._queue_response(conn, response)
         # Idle keep-alive clock; doubles as the write deadman — a client
         # that never drains its responses is reaped at the same deadline.
         conn.deadline = time.monotonic() + config.keep_alive_timeout
         self._flush(conn)
 
+    @staticmethod
+    def _queue_response(conn: _Connection, response: Response) -> None:
+        """Append head and body as separate segments — the (possibly
+        cached, shared) body bytes are never concatenated per response."""
+        conn.out.append(response.serialize_head())
+        body = response.body
+        if response.body_file is not None and not body:
+            # No sendfile on a nonblocking loop socket (the engine leaves
+            # sendfile_enabled off for this host); read defensively in
+            # case a FileBody response arrives by another route.
+            with open(response.body_file.path, "rb") as handle:
+                body = handle.read()
+        conn.out.append(body)
+
     def _fail(self, conn: _Connection, status: int) -> None:
         """Protocol violation: answer once, stop reading, close."""
         response = error_response(status)
         response.headers.set("Connection", "close")
-        conn.out += response.serialize()
+        self._queue_response(conn, response)
         conn.close_after_flush = True
         conn.reads_paused = True
         self._flush(conn)
@@ -496,9 +615,15 @@ class AsyncDCWSServer(BlockingDirectiveMixin, DurabilityMixin):
             return
         if conn.out:
             try:
-                sent = conn.sock.send(conn.out)
+                if hasattr(conn.sock, "sendmsg"):
+                    # Gather write straight from the segment queue: one
+                    # syscall covers head + body (+ pipelined followers)
+                    # with zero user-space concatenation.
+                    sent = conn.sock.sendmsg(conn.out.buffers())
+                else:
+                    sent = conn.sock.send(conn.out.buffers(1)[0])
                 if sent:
-                    del conn.out[:sent]
+                    conn.out.advance(sent)
             except (BlockingIOError, InterruptedError):
                 pass
             except OSError:

@@ -15,9 +15,14 @@ serve hot path:
   updates, migration/revocation dirtying) change the key, and
   regeneration explicitly invalidates, so a stale body is never served.
 
-Both caches keep their own small lock: the threaded server touches them
+Both caches keep their own locking: the threaded server touches them
 from worker threads outside the engine lock (lock-scope reduction), and
-the counters feed the admin endpoint and benchmarks.
+the counters feed the admin endpoint and benchmarks.  With ``stripes >
+1`` the lock (and the LRU structure) is partitioned by
+``hash(name) % stripes`` — per-shard locks, so concurrent readers of
+unrelated documents never serialize on one cache mutex; capacity is
+split evenly across stripes.  The default of one stripe preserves the
+original global-LRU semantics exactly.
 """
 
 from __future__ import annotations
@@ -25,9 +30,10 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.server.filestore import DocumentStore
+from repro.server.striping import shard_of
 
 
 @dataclass
@@ -55,35 +61,59 @@ class CacheStats:
                 "hit_rate": round(self.hit_rate, 4)}
 
 
+class _ByteShard:
+    """One stripe of :class:`LRUByteCache`: entries + lock + budget."""
+
+    __slots__ = ("capacity", "entries", "used", "lock")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.entries: "OrderedDict[str, bytes]" = OrderedDict()
+        self.used = 0
+        self.lock = threading.Lock()
+
+
 class LRUByteCache:
     """A byte-bounded LRU map of document name -> bytes.
 
     ``capacity_bytes <= 0`` disables the cache (every lookup misses).
     Oversized single values are not cached rather than flushing the
-    whole cache to make room.
+    whole cache to make room.  With ``stripes > 1`` the byte budget,
+    the LRU order, and the lock are all per-stripe.
     """
 
-    def __init__(self, capacity_bytes: int) -> None:
+    def __init__(self, capacity_bytes: int, *, stripes: int = 1) -> None:
         self.capacity_bytes = capacity_bytes
+        self.stripes = max(1, stripes)
         self.stats = CacheStats()
-        self._entries: "OrderedDict[str, bytes]" = OrderedDict()
-        self._used = 0
-        self._lock = threading.Lock()
+        per_shard = (max(1, capacity_bytes // self.stripes)
+                     if capacity_bytes > 0 else 0)
+        self._shards: List[_ByteShard] = [
+            _ByteShard(per_shard) for __ in range(self.stripes)]
+
+    def _shard(self, name: str) -> _ByteShard:
+        return self._shards[shard_of(name, self.stripes)]
 
     @property
     def used_bytes(self) -> int:
-        return self._used
+        return sum(shard.used for shard in self._shards)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return sum(len(shard.entries) for shard in self._shards)
+
+    def __contains__(self, name: object) -> bool:
+        if not isinstance(name, str):
+            return False
+        return name in self._shard(name).entries
 
     def get(self, name: str) -> Optional[bytes]:
-        with self._lock:
-            data = self._entries.get(name)
+        shard = self._shard(name)
+        with shard.lock:
+            data = shard.entries.get(name)
             if data is None:
                 self.stats.misses += 1
                 return None
-            self._entries.move_to_end(name)
+            shard.entries.move_to_end(name)
             self.stats.hits += 1
             return data
 
@@ -91,30 +121,33 @@ class LRUByteCache:
         if self.capacity_bytes <= 0:
             return
         size = len(data)
-        with self._lock:
-            old = self._entries.pop(name, None)
+        shard = self._shard(name)
+        with shard.lock:
+            old = shard.entries.pop(name, None)
             if old is not None:
-                self._used -= len(old)
-            if size > self.capacity_bytes:
+                shard.used -= len(old)
+            if size > shard.capacity:
                 return
-            self._entries[name] = data
-            self._used += size
-            while self._used > self.capacity_bytes:
-                __, evicted = self._entries.popitem(last=False)
-                self._used -= len(evicted)
+            shard.entries[name] = data
+            shard.used += size
+            while shard.used > shard.capacity:
+                __, evicted = shard.entries.popitem(last=False)
+                shard.used -= len(evicted)
                 self.stats.evictions += 1
 
     def invalidate(self, name: str) -> None:
-        with self._lock:
-            data = self._entries.pop(name, None)
+        shard = self._shard(name)
+        with shard.lock:
+            data = shard.entries.pop(name, None)
             if data is not None:
-                self._used -= len(data)
+                shard.used -= len(data)
                 self.stats.invalidations += 1
 
     def clear(self) -> None:
-        with self._lock:
-            self._entries.clear()
-            self._used = 0
+        for shard in self._shards:
+            with shard.lock:
+                shard.entries.clear()
+                shard.used = 0
 
 
 class CachingStore(DocumentStore):
@@ -126,9 +159,10 @@ class CachingStore(DocumentStore):
     never observe a partially written disk file).
     """
 
-    def __init__(self, inner: DocumentStore, capacity_bytes: int) -> None:
+    def __init__(self, inner: DocumentStore, capacity_bytes: int, *,
+                 stripes: int = 1) -> None:
         self.inner = inner
-        self.cache = LRUByteCache(capacity_bytes)
+        self.cache = LRUByteCache(capacity_bytes, stripes=stripes)
 
     def get(self, name: str) -> bytes:
         data = self.cache.get(name)
@@ -159,6 +193,14 @@ class CachingStore(DocumentStore):
     def items(self) -> Iterator[Tuple[str, bytes]]:
         return self.inner.items()
 
+    def sendfile_source(self, name: str) -> Optional[Tuple[str, int]]:
+        """Delegate zero-copy sourcing to the inner store — unless the
+        bytes are already memory-resident here, in which case reading
+        from cache beats a sendfile syscall pair."""
+        if name in self.cache:
+            return None
+        return self.inner.sendfile_source(name)
+
 
 @dataclass(frozen=True)
 class CachedResponse:
@@ -180,6 +222,27 @@ class CachedResponse:
     gzip_body: Optional[bytes] = None
 
 
+class _ResponseShard:
+    """One stripe of :class:`ResponseCache`: LRU + name index + lock."""
+
+    __slots__ = ("capacity", "entries", "by_name", "lock")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.entries: "OrderedDict[Tuple[str, str, str], CachedResponse]" = \
+            OrderedDict()
+        self.by_name: Dict[str, set] = {}
+        self.lock = threading.Lock()
+
+    def unindex(self, key: Tuple[str, str, str]) -> None:
+        """Drop *key* from the per-name index (lock held by caller)."""
+        keys = self.by_name.get(key[0])
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self.by_name[key[0]]
+
+
 class ResponseCache:
     """Rendered-response LRU keyed by ``(name, version, method)``.
 
@@ -189,18 +252,29 @@ class ResponseCache:
     key index keeps that O(cached versions of *name*): migration events
     invalidate on the hot path, and a scan of every entry under the lock
     would make each invalidation O(total entries).
+
+    ``on_invalidate`` (when set) is called with the document name after
+    any invalidation that actually dropped entries — the multi-process
+    front end hangs its cross-worker version broadcast here.  It fires
+    outside the shard lock and never for invalidations that arrive *as*
+    broadcasts (``broadcast=False``), so relays cannot loop.
     """
 
-    def __init__(self, capacity_entries: int) -> None:
+    def __init__(self, capacity_entries: int, *, stripes: int = 1) -> None:
         self.capacity_entries = capacity_entries
+        self.stripes = max(1, stripes)
         self.stats = CacheStats()
-        self._entries: "OrderedDict[Tuple[str, str, str], CachedResponse]" = \
-            OrderedDict()
-        self._by_name: Dict[str, set] = {}
-        self._lock = threading.Lock()
+        self.on_invalidate: Optional[Callable[[str], None]] = None
+        per_shard = (max(1, capacity_entries // self.stripes)
+                     if capacity_entries > 0 else 0)
+        self._shards: List[_ResponseShard] = [
+            _ResponseShard(per_shard) for __ in range(self.stripes)]
+
+    def _shard(self, name: str) -> _ResponseShard:
+        return self._shards[shard_of(name, self.stripes)]
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return sum(len(shard.entries) for shard in self._shards)
 
     @property
     def enabled(self) -> bool:
@@ -211,12 +285,13 @@ class ResponseCache:
         if not self.enabled:
             return None
         key = (name, str(version), method)
-        with self._lock:
-            entry = self._entries.get(key)
+        shard = self._shard(name)
+        with shard.lock:
+            entry = shard.entries.get(key)
             if entry is None:
                 self.stats.misses += 1
                 return None
-            self._entries.move_to_end(key)
+            shard.entries.move_to_end(key)
             self.stats.hits += 1
             return entry
 
@@ -225,38 +300,36 @@ class ResponseCache:
         if not self.enabled:
             return
         key = (name, str(version), method)
-        with self._lock:
-            self._entries[key] = entry
-            self._entries.move_to_end(key)
-            self._by_name.setdefault(name, set()).add(key)
-            while len(self._entries) > self.capacity_entries:
-                evicted, __ = self._entries.popitem(last=False)
-                self._unindex(evicted)
+        shard = self._shard(name)
+        with shard.lock:
+            shard.entries[key] = entry
+            shard.entries.move_to_end(key)
+            shard.by_name.setdefault(name, set()).add(key)
+            while len(shard.entries) > shard.capacity:
+                evicted, __ = shard.entries.popitem(last=False)
+                shard.unindex(evicted)
                 self.stats.evictions += 1
 
-    def invalidate(self, name: str) -> int:
+    def invalidate(self, name: str, *, broadcast: bool = True) -> int:
         """Drop every cached rendering of *name*; returns how many.
 
         The per-name index makes this O(cached versions of *name*)
-        rather than a scan of every entry under the lock."""
-        with self._lock:
-            stale = self._by_name.pop(name, None)
-            if not stale:
-                return 0
-            for key in stale:
-                del self._entries[key]
-            self.stats.invalidations += len(stale)
-            return len(stale)
+        rather than a scan of every entry under the lock.
+        ``broadcast=False`` marks an invalidation that arrived over the
+        cross-worker channel: it is applied but not re-announced."""
+        shard = self._shard(name)
+        with shard.lock:
+            stale = shard.by_name.pop(name, None)
+            if stale:
+                for key in stale:
+                    del shard.entries[key]
+                self.stats.invalidations += len(stale)
+        if broadcast and self.on_invalidate is not None:
+            self.on_invalidate(name)
+        return len(stale) if stale else 0
 
     def clear(self) -> None:
-        with self._lock:
-            self._entries.clear()
-            self._by_name.clear()
-
-    def _unindex(self, key: Tuple[str, str, str]) -> None:
-        """Drop *key* from the per-name index (lock held by caller)."""
-        keys = self._by_name.get(key[0])
-        if keys is not None:
-            keys.discard(key)
-            if not keys:
-                del self._by_name[key[0]]
+        for shard in self._shards:
+            with shard.lock:
+                shard.entries.clear()
+                shard.by_name.clear()

@@ -28,6 +28,7 @@ from repro.client.realclient import http_fetch
 from repro.errors import HTTPError
 from repro.http.messages import Response
 from repro.server.engine import PullFromHome, RegenerateAndServe
+from repro.server.striping import StripedLock
 
 if TYPE_CHECKING:
     from repro.faults import FaultPlan
@@ -39,18 +40,18 @@ class BlockingDirectiveMixin:
 
     def _init_dispatch(self) -> None:
         # Lock-scope reduction: dirty-document regeneration runs off the
-        # engine lock, guarded per document so two threads never splice
-        # the same name concurrently.
+        # engine lock, guarded so two threads never splice the same name
+        # concurrently.  Striped rather than per-name: the old per-name
+        # dict grew without bound with the corpus; a fixed array of
+        # hash-addressed locks (config.lock_stripes) keeps memory O(1)
+        # while two *different* documents contend only on a stripe
+        # collision — and the same CRC-32 shard map drives cross-worker
+        # document ownership in the multi-process front end.
         self.engine.defer_regeneration = True
-        self._regen_locks: dict = {}
-        self._regen_locks_mutex = threading.Lock()
+        self._regen_locks = StripedLock(self.engine.config.lock_stripes)
 
     def _regen_lock(self, name: str) -> threading.Lock:
-        with self._regen_locks_mutex:
-            lock = self._regen_locks.get(name)
-            if lock is None:
-                lock = self._regen_locks[name] = threading.Lock()
-            return lock
+        return self._regen_locks.lock_for(name)
 
     def _execute_regeneration(self, directive: RegenerateAndServe) -> Response:
         """Dirty-document regeneration with the splice off the engine lock.

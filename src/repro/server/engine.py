@@ -71,6 +71,7 @@ from repro.html.serializer import serialize_html
 from repro.html.template import LinkTemplate, build_link_template
 from repro.http.headers import Headers
 from repro.http.messages import (
+    FileBody,
     Request,
     Response,
     error_response,
@@ -92,6 +93,7 @@ from repro.server.admin import ADMIN_PREFIX, HEALTH_PATH
 from repro.server.cache import CachedResponse, CachingStore, ResponseCache
 from repro.server.entrygate import COOKIE_NAME, EntryGate
 from repro.server.filestore import DocumentStore, MemoryStore, guess_content_type
+from repro.server.striping import ShardVersions
 
 if TYPE_CHECKING:
     from repro.client.breaker import CircuitBreaker
@@ -122,6 +124,26 @@ class EngineReply:
     reconstructed: bool = False
     parsed_only: bool = False
     spliced: bool = False
+
+
+@dataclass
+class _FastHit:
+    """A validated lock-free cache read, pending commit.
+
+    Produced by :meth:`DCWSEngine.fast_lookup` entirely outside the
+    host's engine lock; the host then calls
+    :meth:`DCWSEngine.fast_commit` *under* the lock, which re-checks the
+    shard stamp (definitive there: every mutation holds the lock) and
+    either books the counters and finishes the response, or returns
+    ``None`` so the host falls back to :meth:`DCWSEngine.handle_request`.
+    """
+
+    shard: int
+    stamp: int
+    record: DocumentRecord
+    cached: CachedResponse
+    response: Response
+    kind: str              # "identity" or "gzip"
 
 
 @dataclass
@@ -256,10 +278,16 @@ class DCWSEngine:
         # caller pre-wrapped keeps its own cache.
         if config.byte_cache_bytes > 0 and \
                 not isinstance(store, (MemoryStore, CachingStore)):
-            store = CachingStore(store, config.byte_cache_bytes)
+            store = CachingStore(store, config.byte_cache_bytes,
+                                 stripes=config.lock_stripes)
         self.store = store
         # Rendered-response cache keyed by (name, version, method).
-        self.response_cache = ResponseCache(config.response_cache_entries)
+        self.response_cache = ResponseCache(config.response_cache_entries,
+                                            stripes=config.lock_stripes)
+        # Seqlock shard stamps for the lock-free clean-read fast path:
+        # every mutation site below bumps the shards it touches, and
+        # fast_lookup/fast_commit validate against them.
+        self.shards = ShardVersions(config.lock_stripes)
         # Per-document link templates for splice reconstruction, synced at
         # every point the stored bytes change (initial parse, author
         # update, regeneration commit).  Keyed by name: migration events
@@ -269,6 +297,13 @@ class DCWSEngine:
         # Host capability: the threaded server sets this so dirty-document
         # regeneration runs outside its engine lock (RegenerateAndServe).
         self.defer_regeneration = False
+        # Host capability: front ends that can deliver a FileBody with
+        # os.sendfile set this; large clean disk-backed GETs then skip
+        # the byte read entirely (see _respond_home).
+        self.sendfile_enabled = False
+        # Multi-process hosts install a callable here returning the
+        # supervisor's per-worker roster for /~dcws/workers.
+        self.worker_view = None
         # Tiered shedding input: hosts set this before dispatching when
         # their queue/connection pressure crosses ``config.shed_pressure``.
         # While True, expensive work (regenerations, first-use pulls) is
@@ -279,6 +314,7 @@ class DCWSEngine:
         self.glt = GlobalLoadTable(location)
         self.policy = MigrationPolicy(config, self.graph, self.glt)
         self.policy.peer_available = self._peer_available
+        self.policy.on_decision = self._on_decision
         self.metrics = ServerMetrics(config.stats_interval)
         self.validation = DueTracker(config.validation_interval)
         self.health = PeerHealth(config.ping_failure_limit)
@@ -319,16 +355,31 @@ class DCWSEngine:
     def attach_journal(self, journal: "WriteAheadJournal") -> None:
         """Journal every state mutation from here on.
 
-        Wires the migration policy's decision callback so *every* decision
-        site — periodic rounds, forced migrations, dead-peer revocations —
-        lands in the journal without per-site plumbing.
+        The migration policy's decision callback (wired at construction)
+        already routes *every* decision site — periodic rounds, forced
+        migrations, dead-peer revocations — through
+        :meth:`_on_decision`, which journals when a journal is attached.
         """
         self.journal = journal
-        self.policy.on_decision = self._journal_decision
+        self.policy.on_decision = self._on_decision
 
     def _journal(self, kind: str, **fields: object) -> None:
         if self.journal is not None:
             self.journal.append(kind, self._clock, **fields)
+
+    def _on_decision(self, decision: MigrationDecision) -> None:
+        """Publish one applied migration decision.
+
+        Journals it (when a journal is attached) and bumps the seqlock
+        stamps of every shard the decision touched, so decisions applied
+        outside the bracketed periodic paths — admin force-migrations,
+        for example — still invalidate in-flight lock-free reads.  (The
+        periodic paths additionally bracket whole decision *rounds* with
+        ``shards.write_all``.)
+        """
+        self._journal_decision(decision)
+        with self.shards.write(decision.name, *decision.dirtied):
+            pass
 
     def _journal_decision(self, decision: MigrationDecision) -> None:
         """Journal one applied migration decision as *resulting state*.
@@ -463,6 +514,84 @@ class DCWSEngine:
                 return self._handle_local(request, original, now)
             return self._handle_coop(request, path, home, original, now)
         return self._handle_local(request, path, now)
+
+    # -- lock-free fast path for clean cached reads ----------------------
+
+    def fast_lookup(self, request: Request, now: float) -> Optional[_FastHit]:
+        """Try to resolve *request* as a clean cached read, LOCK-FREE.
+
+        Hosts call this before taking their engine lock.  Only the
+        plainest requests qualify — an unconditional client GET/HEAD of
+        a clean, local, unreplicated, cached document — and the result
+        is validated against the shard's seqlock stamp: any concurrent
+        mutation of the shard sends the caller to the locked slow path.
+        Nothing here mutates engine state; all accounting happens in
+        :meth:`fast_commit` under the host's lock, so every counter
+        stays exactly as accurate as the single-lock engine's.
+        """
+        if request.method not in ("GET", "HEAD"):
+            return None
+        if self.entry_gate is not None:
+            # Gate checks and cookie issuance are time-dependent per
+            # request; gated sites always take the slow path.
+            return None
+        headers = request.headers
+        if headers.get(PURPOSE_HEADER) is not None \
+                or headers.get(VERSION_HEADER) is not None \
+                or extract_sender(headers):
+            return None  # peer traffic: piggyback/validation semantics
+        if headers.get("Range") is not None \
+                or headers.get("If-None-Match") is not None \
+                or headers.get("If-Modified-Since") is not None:
+            return None  # conditional/partial: slow-path negotiation
+        path = normalize_path(request.path)
+        if path == HEALTH_PATH or path.startswith(ADMIN_PREFIX) \
+                or is_migrated_path(path):
+            return None
+        shard = self.shards.shard_of(path)
+        stamp = self.shards.read(shard)
+        if stamp is None:
+            return None  # writer active in this shard right now
+        record = self.graph.find(path)
+        if record is None or record.dirty or record.replicas \
+                or record.location != self.location:
+            return None
+        cached = self.response_cache.get(path, record.version,
+                                         request.method)
+        if cached is None:
+            return None
+        response, kind = self._render_entity(request, cached)
+        if kind not in ("identity", "gzip"):
+            return None  # unreachable without Range, but stay defensive
+        response.headers.set(VERSION_HEADER, cached.version)
+        if self.shards.read(shard) != stamp:
+            # A writer completed (or started) between our first stamp
+            # read and here: everything read above may be torn.
+            return None
+        return _FastHit(shard=shard, stamp=stamp, record=record,
+                        cached=cached, response=response, kind=kind)
+
+    def fast_commit(self, hit: _FastHit, request: Request,
+                    now: float) -> Optional[EngineReply]:
+        """Book a :meth:`fast_lookup` hit (host holds the engine lock).
+
+        The stamp re-check here is definitive — every mutation runs
+        under the same lock — so a ``None`` return (fall back to
+        :meth:`handle_request`) is the only alternative to a reply
+        counted exactly like the slow path would have counted it.
+        """
+        if self.shards.read(hit.shard) != hit.stamp:
+            return None
+        self._clock = now
+        self.stats.requests += 1
+        hit.record.record_hit()
+        if hit.kind == "gzip" and hit.cached.gzip_body is not None:
+            self.stats.gzip_responses += 1
+            self.stats.gzip_bytes_saved += \
+                hit.cached.content_length - len(hit.cached.gzip_body)
+        self.stats.responses_200 += 1
+        return self._finish(request, hit.response, now,
+                            doc_name=hit.record.name)
 
     # -- administrative endpoints (/~dcws/...) ---------------------------
 
@@ -605,6 +734,32 @@ class DCWSEngine:
             self.stats.conditional_304s += 1
             return self._finish(request, response, now, doc_name=record.name,
                                 reconstructed=reconstructed, spliced=spliced)
+        if self.sendfile_enabled and request.method == "GET" \
+                and request.headers.get("Range") is None \
+                and (self.entry_gate is None or not record.entry_point):
+            # Zero-copy delivery of large disk-backed bodies: hand the
+            # transport a FileBody for os.sendfile instead of reading the
+            # bytes.  Deliberately bypasses the byte/response caches so
+            # one big file cannot flush the hot set; small documents (or
+            # ones already byte-cached) keep the cached path below.
+            source = self.store.sendfile_source(record.name)
+            if source is not None \
+                    and source[1] >= self.config.sendfile_min_bytes:
+                disk_path, size = source
+                response = Response(
+                    status=StatusCode.OK,
+                    body_file=FileBody(path=disk_path, size=size))
+                response.headers.set("Content-Type", record.content_type)
+                response.headers.set("Content-Length", str(size))
+                response.headers.set("Accept-Ranges", "bytes")
+                response.headers.set("ETag", etag)
+                response.headers.set("Last-Modified", last_modified)
+                response.headers.set(VERSION_HEADER, str(record.version))
+                self.stats.responses_200 += 1
+                return self._finish(request, response, now,
+                                    doc_name=record.name,
+                                    reconstructed=reconstructed,
+                                    spliced=spliced)
         cached = self.response_cache.get(record.name, record.version,
                                          request.method)
         if cached is None:
@@ -634,15 +789,21 @@ class DCWSEngine:
         return self._finish(request, response, now, doc_name=record.name,
                             reconstructed=reconstructed, spliced=spliced)
 
-    def _entity_response(self, request: Request,
-                         cached: CachedResponse) -> Response:
-        """Build the 200/206/416 for one cached rendering.
+    def _render_entity(self, request: Request, cached: CachedResponse
+                       ) -> Tuple[Response, str]:
+        """Build the 200/206/416 for one cached rendering — PURE.
 
         Negotiates ``Range`` (single byte range against the identity
         representation) and ``Accept-Encoding: gzip`` (the pre-compressed
-        variant stored at cache-fill time) and counts the outcome.  The
-        validators ride on every flavor so a client can revalidate
-        whatever it received.
+        variant stored at cache-fill time).  The validators ride on every
+        flavor so a client can revalidate whatever it received.  No
+        counter is touched here: the lock-free fast path renders outside
+        the engine lock and books the outcome later (in
+        :meth:`fast_commit`); the slow path books it immediately in
+        :meth:`_entity_response`.  Returns the response plus its kind —
+        ``"identity"``, ``"gzip"``, ``"206"`` or ``"416"``.  The identity
+        and gzip bodies are the *shared* cached bytes objects, never a
+        copy.
         """
         response = Response(status=StatusCode.OK, body=cached.body)
         response.headers.set("Content-Type", cached.content_type)
@@ -666,8 +827,7 @@ class DCWSEngine:
                 response.headers.set("Content-Length", "0")
                 response.headers.set(
                     "Content-Range", f"bytes */{cached.content_length}")
-                self.stats.responses_416 += 1
-                return response
+                return response, "416"
             if span is not None:
                 start, end = span
                 response.status = StatusCode.PARTIAL_CONTENT
@@ -676,18 +836,31 @@ class DCWSEngine:
                                      content_range(span,
                                                    cached.content_length))
                 response.headers.set("Content-Length", str(end - start + 1))
-                self.stats.responses_206 += 1
-                return response
+                return response, "206"
         if cached.gzip_body is not None and request.method == "GET" \
                 and accepts_gzip(request.headers):
             response.body = cached.gzip_body
             response.headers.set("Content-Encoding", "gzip")
             response.headers.set("Content-Length",
                                  str(len(cached.gzip_body)))
-            self.stats.gzip_responses += 1
-            self.stats.gzip_bytes_saved += \
-                cached.content_length - len(cached.gzip_body)
-        self.stats.responses_200 += 1
+            return response, "gzip"
+        return response, "identity"
+
+    def _entity_response(self, request: Request,
+                         cached: CachedResponse) -> Response:
+        """Render one cached entity and book the outcome counters
+        (slow path; the host's engine lock is held)."""
+        response, kind = self._render_entity(request, cached)
+        if kind == "416":
+            self.stats.responses_416 += 1
+        elif kind == "206":
+            self.stats.responses_206 += 1
+        else:
+            if kind == "gzip" and cached.gzip_body is not None:
+                self.stats.gzip_responses += 1
+                self.stats.gzip_bytes_saved += \
+                    cached.content_length - len(cached.gzip_body)
+            self.stats.responses_200 += 1
         return response
 
     def _shed(self, request: Request, now: float, *, doc_name: str,
@@ -857,10 +1030,11 @@ class DCWSEngine:
             # The home says we are not (or no longer) this document's
             # host: forward the redirect to the client, keep nothing.
             self._absorb_piggyback(response.headers)
-            self._journal("hosted_dropped", key=pull.key)
-            self.hosted.pop(pull.key, None)
-            self.validation.forget(pull.key)
-            self.response_cache.invalidate(pull.key)
+            with self.shards.write(pull.key):
+                self._journal("hosted_dropped", key=pull.key)
+                self.hosted.pop(pull.key, None)
+                self.validation.forget(pull.key)
+                self.response_cache.invalidate(pull.key)
             forwarded = redirect_response(
                 response.headers.get("Location", "") or "")
             self.stats.responses_301 += 1
@@ -888,17 +1062,19 @@ class DCWSEngine:
         # Journal before the byte write: a crash in between recovers the
         # hosted entry as unfetched, and the next request re-pulls — lost
         # work, never lost state.
-        self._journal("pull", key=pull.key, home=str(pull.home),
-                      original=pull.original, size=len(response.body),
-                      version=response.headers.get(VERSION_HEADER, "") or "",
-                      content_type=content_type)
-        self.store.put(pull.key, response.body)
-        self.response_cache.invalidate(pull.key)
-        hosted.fetched = True
-        hosted.size = len(response.body)
-        hosted.version = response.headers.get(VERSION_HEADER, "") or ""
-        if content_type:
-            hosted.content_type = content_type
+        with self.shards.write(pull.key):
+            self._journal("pull", key=pull.key, home=str(pull.home),
+                          original=pull.original, size=len(response.body),
+                          version=response.headers.get(VERSION_HEADER, "")
+                          or "",
+                          content_type=content_type)
+            self.store.put(pull.key, response.body)
+            self.response_cache.invalidate(pull.key)
+            hosted.fetched = True
+            hosted.size = len(response.body)
+            hosted.version = response.headers.get(VERSION_HEADER, "") or ""
+            if content_type:
+                hosted.content_type = content_type
         # Jitter each document's first validation deadline so documents
         # pulled in a burst (e.g. right after a warm start) do not
         # re-validate in synchronized storms that flood the home server.
@@ -1004,18 +1180,19 @@ class DCWSEngine:
 
     def _commit_bytes(self, record: DocumentRecord, data: bytes) -> None:
         """Install regenerated bytes: store, record, response cache."""
-        self.store.put(record.name, data)
-        record.size = len(data)
-        record.dirty = False
-        # Journal *after* the byte write — the record asserts "this
-        # version's links are clean on disk", which is only true once the
-        # crash-atomic put returned.  A crash in between replays as
-        # still-dirty and simply regenerates again.
-        self._journal("regenerate", name=record.name, version=record.version,
-                      size=record.size)
-        # Regeneration changes bytes without bumping the version, so the
-        # rendered-response cache must be invalidated explicitly.
-        self.response_cache.invalidate(record.name)
+        with self.shards.write(record.name):
+            self.store.put(record.name, data)
+            record.size = len(data)
+            record.dirty = False
+            # Journal *after* the byte write — the record asserts "this
+            # version's links are clean on disk", which is only true once
+            # the crash-atomic put returned.  A crash in between replays
+            # as still-dirty and simply regenerates again.
+            self._journal("regenerate", name=record.name,
+                          version=record.version, size=record.size)
+            # Regeneration changes bytes without bumping the version, so
+            # the rendered-response cache must be invalidated explicitly.
+            self.response_cache.invalidate(record.name)
 
     # -- deferred regeneration (threaded host, off the engine lock) ------
 
@@ -1128,7 +1305,11 @@ class DCWSEngine:
         # free after a restart — journaling them would bloat the log with
         # a record per transfer for state that expires in seconds.
         self._journal("glt_row", metric=own_metric)
-        decisions = self.policy.consider(now, own_metric)
+        # One decision round can relocate documents and dirty their
+        # referrers across many shards: bracket the whole round so
+        # lock-free readers fall back for its (short) duration.
+        with self.shards.write_all():
+            decisions = self.policy.consider(now, own_metric)
         for decision in decisions:
             self.stats.decisions.append(decision)
             self.log.record(now, decision.kind, name=decision.name,
@@ -1215,12 +1396,13 @@ class DCWSEngine:
         if response.status == StatusCode.OK:
             version = response.headers.get(VERSION_HEADER, "") \
                 or hosted.version
-            self._journal("validate_refreshed", key=hosted.key,
-                          size=len(response.body), version=version)
-            self.store.put(hosted.key, response.body)
-            self.response_cache.invalidate(hosted.key)
-            hosted.size = len(response.body)
-            hosted.version = version
+            with self.shards.write(hosted.key):
+                self._journal("validate_refreshed", key=hosted.key,
+                              size=len(response.body), version=version)
+                self.store.put(hosted.key, response.body)
+                self.response_cache.invalidate(hosted.key)
+                hosted.size = len(response.body)
+                hosted.version = version
             self.log.record(now, "validate_refreshed", key=hosted.key,
                             bytes=hosted.size)
             return
@@ -1231,11 +1413,12 @@ class DCWSEngine:
             # re-migrated or revoked it — we are no longer its host.
             # Either way, drop our copy; future requests for the old URL
             # pull again and are answered with the home's redirect.
-            self._journal("hosted_dropped", key=hosted.key)
-            self.store.delete(hosted.key)
-            self.response_cache.invalidate(hosted.key)
-            self.validation.forget(hosted.key)
-            self.hosted.pop(hosted.key, None)
+            with self.shards.write(hosted.key):
+                self._journal("hosted_dropped", key=hosted.key)
+                self.store.delete(hosted.key)
+                self.response_cache.invalidate(hosted.key)
+                self.validation.forget(hosted.key)
+                self.hosted.pop(hosted.key, None)
             return
         # Transient statuses (503 overload, 5xx) keep the copy; the next
         # validation interval retries.
@@ -1254,7 +1437,10 @@ class DCWSEngine:
 
     def _declare_dead(self, peer: Location, now: float) -> None:
         self.log.record(now, "peer_dead", peer=str(peer))
-        decisions = self.policy.revoke_all_from(peer)
+        # Revoking every document hosted on the dead peer mutates
+        # records across arbitrary shards; bracket the sweep.
+        with self.shards.write_all():
+            decisions = self.policy.revoke_all_from(peer)
         for decision in decisions:
             self.stats.decisions.append(decision)
             self.stats.revocations += 1
@@ -1291,12 +1477,13 @@ class DCWSEngine:
                                 fetched=True, size=len(data),
                                 version=str(version),
                                 content_type=guess_content_type(original))
-        self.hosted[key] = hosted
-        self._journal("pull", key=key, home=str(home), original=original,
-                      size=len(data), version=str(version),
-                      content_type=hosted.content_type)
-        self.store.put(key, data)
-        self.response_cache.invalidate(key)
+        with self.shards.write(key):
+            self.hosted[key] = hosted
+            self._journal("pull", key=key, home=str(home), original=original,
+                          size=len(data), version=str(version),
+                          content_type=hosted.content_type)
+            self.store.put(key, data)
+            self.response_cache.invalidate(key)
         jitter = (hash(key) % 997) / 997.0
         self.validation.register(
             key, now - jitter * self.config.validation_interval)
@@ -1310,22 +1497,23 @@ class DCWSEngine:
         refresh its outgoing edges.  Co-op copies catch up at their next
         validation."""
         record = self.graph.get(name)
-        # Journal before the byte write: replay bumps the version even if
-        # the crash ate the bytes, so co-ops revalidate instead of holding
-        # a stale copy that compares equal by version.
-        self._journal("content_update", name=name,
-                      version=record.version + 1, size=len(data),
-                      dirty=record.is_html)
-        self.store.put(name, data)
-        self.response_cache.invalidate(name)
-        record.size = len(data)
-        record.version += 1
-        if record.is_html:
-            self.stats.parses += 1
-            self.graph.set_links(name, self._index_html(name, data))
-            record.dirty = True
-        else:
-            self._templates.pop(name, None)
+        with self.shards.write(name):
+            # Journal before the byte write: replay bumps the version even
+            # if the crash ate the bytes, so co-ops revalidate instead of
+            # holding a stale copy that compares equal by version.
+            self._journal("content_update", name=name,
+                          version=record.version + 1, size=len(data),
+                          dirty=record.is_html)
+            self.store.put(name, data)
+            self.response_cache.invalidate(name)
+            record.size = len(data)
+            record.version += 1
+            if record.is_html:
+                self.stats.parses += 1
+                self.graph.set_links(name, self._index_html(name, data))
+                record.dirty = True
+            else:
+                self._templates.pop(name, None)
         self.log.record(0.0, "content_update", name=name,
                         version=record.version)
 
@@ -1371,7 +1559,7 @@ class DCWSEngine:
                 f"max={self.config.keep_alive_max_requests}")
         else:
             response.headers.set("Connection", "close")
-        body_bytes = len(response.body)
+        body_bytes = response.body_length()
         self.metrics.record_connection(now, body_bytes + RESPONSE_HEAD_OVERHEAD)
         self.stats.bytes_sent += body_bytes
         return EngineReply(response=response, doc_name=doc_name,

@@ -99,6 +99,13 @@ class DocumentStore(ABC):
         for name in self.names():
             yield name, self.get(name)
 
+    def sendfile_source(self, name: str) -> Optional[Tuple[str, int]]:
+        """``(path, size)`` when *name*'s bytes can be served straight
+        off a disk file via ``os.sendfile``; ``None`` when they cannot
+        (memory-resident stores, wrapped stores, missing files).  The
+        base store has no disk presence."""
+        return None
+
 
 class MemoryStore(DocumentStore):
     """In-memory store; the default for simulation and tests."""
@@ -250,3 +257,20 @@ class DiskStore(DocumentStore):
             return os.path.isfile(self._fs_path(name))
         except DocumentNotFound:
             return False
+
+    def sendfile_source(self, name: str) -> Optional[Tuple[str, int]]:
+        """``(path, size)`` for a plain on-disk document.
+
+        Declined under fault injection: the injected-read chaos paths
+        must keep flowing through :meth:`get` so they degrade to 404
+        exactly as before, not surface as transport errors mid-send.
+        """
+        if self.faults is not None:
+            return None
+        try:
+            path = self._fs_path(name)
+            if not os.path.isfile(path):
+                return None
+            return path, os.path.getsize(path)
+        except (DocumentNotFound, OSError):
+            return None

@@ -51,6 +51,9 @@ class ClusterSample:
     wal_checkpoint_age: float = 0.0
     recovery_records_replayed: int = 0
     recovery_torn_tails: int = 0
+    # Multi-process front end: requests/second per worker process, keyed
+    # by worker index ("0", "1", ...).  Empty in single-process runs.
+    per_worker_rps: Dict[str, float] = field(default_factory=dict)
 
     @property
     def imbalance(self) -> float:
@@ -64,8 +67,14 @@ class ClusterSample:
         return max(values) / mean
 
 
-def sample_cluster(now: float, engines: Iterable[DCWSEngine]) -> ClusterSample:
-    """Read every engine's sliding-window rates at *now*."""
+def sample_cluster(now: float, engines: Iterable[DCWSEngine], *,
+                   worker_rps: "Dict[str, float] | None" = None,
+                   ) -> ClusterSample:
+    """Read every engine's sliding-window rates at *now*.
+
+    ``worker_rps`` (from ``WorkerSupervisor.per_worker_rps()``) attaches
+    the per-worker-process gauges when the harness runs multi-process.
+    """
     total_cps = 0.0
     total_bps = 0.0
     total_drops = 0.0
@@ -133,7 +142,8 @@ def sample_cluster(now: float, engines: Iterable[DCWSEngine]) -> ClusterSample:
                          wal_last_lsn=wal_last_lsn,
                          wal_checkpoint_age=wal_checkpoint_age,
                          recovery_records_replayed=recovery_replayed,
-                         recovery_torn_tails=recovery_torn)
+                         recovery_torn_tails=recovery_torn,
+                         per_worker_rps=dict(worker_rps or {}))
 
 
 @dataclass

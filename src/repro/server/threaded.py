@@ -79,6 +79,9 @@ class ThreadedDCWSServer(BlockingDirectiveMixin, DurabilityMixin):
                  journal_path: Optional[str] = None,
                  faults: Optional["FaultPlan"] = None) -> None:
         self.engine = engine
+        # Blocking sockets can drive os.sendfile: let the engine defer
+        # large disk-backed bodies to the transport (FileBody responses).
+        engine.sendfile_enabled = True
         self.bind_host = bind_host or engine.location.host
         self.port = engine.location.port
         self.request_timeout = request_timeout
@@ -214,7 +217,7 @@ class ThreadedDCWSServer(BlockingDirectiveMixin, DurabilityMixin):
         response.headers.set("Connection", "close")
         response.headers.set("Retry-After", "1")
         try:
-            connection.sendall(response.serialize())
+            send_response(connection, response)
         except OSError:
             pass
         finally:
@@ -269,7 +272,7 @@ class ThreadedDCWSServer(BlockingDirectiveMixin, DurabilityMixin):
                 response.headers.set(
                     "Connection", "keep-alive" if keep else "close")
                 try:
-                    connection.sendall(response.serialize())
+                    send_response(connection, response)
                 except OSError:
                     return
                 if not keep:
@@ -292,7 +295,7 @@ class ThreadedDCWSServer(BlockingDirectiveMixin, DurabilityMixin):
             if not keep:
                 response.headers.set("Connection", "close")
             try:
-                connection.sendall(response.serialize())
+                send_response(connection, response)
             except OSError:
                 return
             if not keep:
@@ -301,6 +304,11 @@ class ThreadedDCWSServer(BlockingDirectiveMixin, DurabilityMixin):
     def _dispatch(self, request: Request) -> Response:
         now = time.monotonic()
         config = self.engine.config
+        # Lock-free fast path: a clean cached read resolves entirely off
+        # the engine lock (rendering included); only the stamp re-check
+        # and the counters happen under it.  Any contention or mutation
+        # falls through to the full locked path below.
+        hit = self.engine.fast_lookup(request, now)
         # Queue depth is this front end's pressure signal: at or above
         # shed_pressure of the bounded hand-off queue, the engine sheds
         # its expensive tier (regenerations, first-use pulls) while cache
@@ -310,6 +318,10 @@ class ThreadedDCWSServer(BlockingDirectiveMixin, DurabilityMixin):
         with self._lock:
             self.engine.overloaded = (config.tiered_shedding
                                       and pressure >= config.shed_pressure)
+            if hit is not None:
+                reply = self.engine.fast_commit(hit, request, now)
+                if reply is not None:
+                    return reply.response
             result = self.engine.handle_request(request, now)
         if isinstance(result, EngineReply):
             return result.response
@@ -403,9 +415,47 @@ def _read_request(connection: socket.socket) -> Request:
     return request
 
 
+def send_response(connection: socket.socket, response: Response) -> None:
+    """Put *response* on the wire without concatenating head and body.
+
+    Three delivery strategies, most efficient first:
+
+    - ``body_file`` set → send the head, then ``socket.sendfile`` the
+      disk file (kernel zero-copy where the platform has ``os.sendfile``;
+      the stdlib falls back to a read/send loop where it does not);
+    - bytes body → one ``sendmsg([head, body])`` gather write, looped
+      with memoryview slicing on short writes, so the (possibly shared,
+      cached) body bytes are never copied into a concatenated buffer;
+    - no ``sendmsg`` on this platform → plain ``sendall`` concatenation.
+
+    Raises ``OSError`` on transport failure like ``sendall`` would.
+    """
+    head = response.serialize_head()
+    if response.body_file is not None and not response.body:
+        connection.sendall(head)
+        with open(response.body_file.path, "rb") as handle:
+            connection.sendfile(handle, 0, response.body_file.size)
+        return
+    body = response.body
+    if not body:
+        connection.sendall(head)
+        return
+    if not hasattr(connection, "sendmsg"):
+        connection.sendall(head + body)
+        return
+    segments = [memoryview(head), memoryview(body)]
+    while segments:
+        sent = connection.sendmsg(segments)
+        while segments and sent >= len(segments[0]):
+            sent -= len(segments[0])
+            segments.pop(0)
+        if segments and sent:
+            segments[0] = segments[0][sent:]
+
+
 def _send_quietly(connection: socket.socket, response: Response) -> None:
     try:
-        connection.sendall(response.serialize())
+        send_response(connection, response)
     except OSError:
         pass
 

@@ -109,3 +109,75 @@ class TestServeCommand:
             # The serve loop only exits on KeyboardInterrupt; the daemon
             # thread dies with the test process.
             pass
+
+
+class TestWorkersFlag:
+    def test_workers_parsed(self):
+        args = build_parser().parse_args(
+            ["serve", "--root", "/tmp/site", "--workers", "4"])
+        assert args.workers == 4
+
+    def test_workers_default_single_process(self):
+        args = build_parser().parse_args(["serve", "--root", "/tmp/site"])
+        assert args.workers == 1
+
+    def test_workers_below_one_rejected(self, tmp_path, capsys):
+        from repro.server.filestore import DiskStore
+
+        DiskStore(str(tmp_path)).put("/index.html", b"<html>x</html>")
+        assert main(["serve", "--root", str(tmp_path),
+                     "--workers", "0"]) == 2
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+    def test_serve_multiprocess_and_fetch(self, tmp_path):
+        """End-to-end: `repro serve --workers 2` in a subprocess."""
+        import os
+        import signal
+        import subprocess
+        import sys
+
+        from repro.client.realclient import fetch_url
+        from repro.http.urls import URL
+        from repro.server.filestore import DiskStore
+        from repro.server.multiproc import choose_mode
+
+        if choose_mode() is None:
+            pytest.skip("no multi-process accept mode on this platform")
+        store = DiskStore(str(tmp_path))
+        store.put("/index.html", b"<html>multiproc cli</html>")
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        import repro
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--root",
+             str(tmp_path), "--port", str(port), "--workers", "2"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True)
+        try:
+            deadline = time.time() + 15.0
+            outcome = None
+            while time.time() < deadline and proc.poll() is None:
+                try:
+                    outcome = fetch_url(URL("127.0.0.1", port,
+                                            "/index.html"), timeout=1.0)
+                    if outcome.status == 200:
+                        break
+                except OSError:
+                    pass
+                time.sleep(0.2)
+            assert outcome is not None and outcome.status == 200
+            workers_page = fetch_url(URL("127.0.0.1", port,
+                                         "/~dcws/workers"), timeout=2.0)
+            assert workers_page.status == 200
+        finally:
+            proc.send_signal(signal.SIGINT)
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=10)

@@ -39,6 +39,10 @@ class TestValidation:
         ("stats_interval", 0.0),
         ("pinger_interval", -5.0),
         ("max_replicas", 0),
+        ("workers", 0),
+        ("workers", -2),
+        ("lock_stripes", 0),
+        ("sendfile_min_bytes", 0),
     ])
     def test_nonpositive_rejected(self, field, value):
         with pytest.raises(ConfigError):

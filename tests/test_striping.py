@@ -1,0 +1,129 @@
+"""Striped locks and seqlock shard versions (repro.server.striping)."""
+
+import threading
+
+from repro.server.striping import (
+    DEFAULT_STRIPES,
+    ShardVersions,
+    StripedLock,
+    shard_of,
+)
+
+
+class TestShardOf:
+    def test_stable_across_calls(self):
+        # CRC-32, not the per-process salted hash(): every worker
+        # process must map the same name to the same shard.
+        assert shard_of("/a.html", 16) == shard_of("/a.html", 16)
+
+    def test_known_value_is_crc32(self):
+        import zlib
+        assert shard_of("/a.html", 16) == zlib.crc32(b"/a.html") % 16
+
+    def test_range(self):
+        for i in range(200):
+            assert 0 <= shard_of(f"/doc{i}.html", 7) < 7
+
+    def test_single_stripe_collapses_to_zero(self):
+        assert shard_of("/anything", 1) == 0
+        assert shard_of("/anything", 0) == 0
+
+    def test_distribution_not_degenerate(self):
+        shards = {shard_of(f"/doc{i}.html", DEFAULT_STRIPES)
+                  for i in range(256)}
+        assert len(shards) > DEFAULT_STRIPES // 2
+
+
+class TestStripedLock:
+    def test_same_name_same_lock(self):
+        locks = StripedLock(8)
+        assert locks.lock_for("/x.html") is locks.lock_for("/x.html")
+
+    def test_holding_is_exclusive_per_stripe(self):
+        locks = StripedLock(4)
+        with locks.holding("/x.html"):
+            lock = locks.lock_for("/x.html")
+            assert not lock.acquire(blocking=False)
+        lock = locks.lock_for("/x.html")
+        assert lock.acquire(blocking=False)
+        lock.release()
+
+    def test_holding_all_takes_every_stripe(self):
+        locks = StripedLock(4)
+        with locks.holding_all():
+            for name in ("/a", "/b", "/c", "/d", "/e", "/f"):
+                assert not locks.lock_for(name).acquire(blocking=False)
+
+    def test_concurrent_different_stripes_do_not_block(self):
+        locks = StripedLock(64)
+        entered = threading.Event()
+        name_a, name_b = "/a.html", "/b.html"
+        assert shard_of(name_a, 64) != shard_of(name_b, 64)
+
+        def hold_b():
+            with locks.holding(name_b):
+                entered.set()
+
+        with locks.holding(name_a):
+            worker = threading.Thread(target=hold_b)
+            worker.start()
+            assert entered.wait(2.0)
+            worker.join(2.0)
+
+
+class TestShardVersions:
+    def test_read_even_and_stable_when_idle(self):
+        shards = ShardVersions(4)
+        stamp = shards.read(shard_of("/x", 4))
+        assert stamp is not None and stamp % 2 == 0
+        assert shards.read(shard_of("/x", 4)) == stamp
+
+    def test_write_bumps_by_two(self):
+        shards = ShardVersions(4)
+        shard = shard_of("/x", 4)
+        before = shards.read(shard)
+        with shards.write("/x"):
+            pass
+        after = shards.read(shard)
+        assert after == before + 2
+
+    def test_read_during_write_returns_none(self):
+        shards = ShardVersions(4)
+        with shards.write("/x"):
+            assert shards.read(shard_of("/x", 4)) is None
+
+    def test_other_shards_untouched(self):
+        shards = ShardVersions(64)
+        other = shard_of("/other", 64)
+        assert other != shard_of("/x", 64)
+        before = shards.read(other)
+        with shards.write("/x"):
+            assert shards.read(other) == before
+
+    def test_nested_write_keeps_odd_until_outermost_exit(self):
+        # A policy decision callback fires shards.write(name) inside a
+        # write_all() bracket; naive counting would flip the stamp even
+        # mid-mutation and let a lock-free reader validate a torn read.
+        shards = ShardVersions(4)
+        shard = shard_of("/x", 4)
+        before = shards.read(shard)
+        with shards.write_all():
+            assert shards.read(shard) is None
+            with shards.write("/x"):
+                assert shards.read(shard) is None
+            # still inside the outer bracket: must stay odd
+            assert shards.read(shard) is None
+        after = shards.read(shard)
+        assert after is not None and after % 2 == 0
+        assert after > before
+
+    def test_stamp_matches_read(self):
+        shards = ShardVersions(8)
+        assert shards.stamp("/x") == shards.read(shard_of("/x", 8))
+
+    def test_write_multiple_names_dedupes_shards(self):
+        shards = ShardVersions(1)  # every name collides on shard 0
+        before = shards.read(0)
+        with shards.write("/a", "/b", "/c"):
+            assert shards.read(0) is None
+        assert shards.read(0) == before + 2
