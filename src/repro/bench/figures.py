@@ -576,6 +576,95 @@ def ablation_replication(scale: Optional[ExperimentScale] = None, *,
 
 
 @dataclass
+class KillHolderBench:
+    """Availability and tail latency when a replica holder is killed.
+
+    Two variants of the same kill-one-holder experiment: the revoke/
+    re-home baseline (``replication_k=1``, the pre-replication-groups
+    behaviour) versus replication groups with autonomous repair
+    (``replication_k=2``).  Availability is the fraction of client
+    requests that did not end in a transport failure or error status.
+    """
+
+    dataset: str
+    servers: int
+    crash_at: float
+    rows: List[Tuple[str, float, float, int, int, int, int]]
+    # (variant, availability, p99 latency, errors, repairs,
+    #  replica_drops, revocations)
+
+    def row(self, variant: str) -> Tuple[str, float, float, int, int, int, int]:
+        for entry in self.rows:
+            if entry[0] == variant:
+                return entry
+        raise KeyError(variant)
+
+    def availability(self, variant: str) -> float:
+        return self.row(variant)[1]
+
+    def p99(self, variant: str) -> float:
+        return self.row(variant)[2]
+
+    def format(self) -> str:
+        return format_table(
+            ("variant", "availability", "p99 (s)", "errors", "repairs",
+             "replica drops", "revocations"),
+            self.rows,
+            title=f"Bench — kill one holder, {self.dataset.upper()},"
+                  f" {self.servers} servers, crash at t={self.crash_at:.1f}s")
+
+
+def bench_kill_holder(scale: Optional[ExperimentScale] = None, *,
+                      dataset: str = "sblog", servers: int = 6,
+                      crash_fraction: float = 0.4) -> KillHolderBench:
+    """Kill the busiest co-op mid-run under a Zipf flash crowd.
+
+    Expected shape: with replication groups (k=2) the surviving copy
+    keeps the hot documents reachable while the repair daemon restores
+    the group, so availability stays strictly above the revoke/re-home
+    baseline, whose clients burn timeouts against the dead holder until
+    the pinger declares it and every document is yanked back home.
+    """
+    scale = scale or current_scale()
+    site = build_site(dataset)
+    clients = saturating_clients(scale, servers)
+    base = scaled_server_config(scale)
+    # Long enough that detection (ping_failure_limit pings) and at least
+    # one repair round both land well inside the post-crash window.
+    duration = max(scale.duration * 2, base.pinger_interval * 10)
+    crash_at = duration * crash_fraction
+
+    def kill_busiest(cluster: SimCluster) -> None:
+        def kill() -> None:
+            busiest = max(
+                range(1, cluster.config.servers),
+                key=lambda i: cluster.servers[
+                    str(cluster.locations[i])].served)
+            cluster.crash_server(busiest)
+        cluster.loop.schedule(crash_at, kill)
+
+    variants = (
+        ("baseline", base),
+        ("replicated", replace(base, replication_k=2, max_replicas=4,
+                               max_replications_per_interval=32)),
+    )
+    rows: List[Tuple[str, float, float, int, int, int, int]] = []
+    for variant, server_config in variants:
+        config = cluster_config(scale, servers=servers, clients=clients,
+                                prewarm=True, duration=duration,
+                                server_config=server_config)
+        result = SimCluster(site, config).run(extra_setup=kill_busiest)
+        requests = max(1, result.client_stats.requests)
+        availability = 1.0 - result.client_stats.errors / requests
+        rows.append((variant, availability,
+                     result.latency_percentile(0.99),
+                     result.client_stats.errors, result.repairs,
+                     result.replica_drops, result.revocations))
+    return KillHolderBench(dataset=dataset, servers=servers,
+                           crash_at=crash_at, rows=rows)
+
+
+@dataclass
 class SelectionAblation:
     rows: List[Tuple[str, float, int, int]]
     # (policy, steady cps, migrations, reconstructions)

@@ -61,6 +61,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes sharing the port "
                             "(SO_REUSEPORT, or fd hand-off where "
                             "unavailable); 1 = single-process")
+    serve.add_argument("--replication-k", type=int, default=1, metavar="K",
+                       help="replication-group size for hot documents: "
+                            "K >= 2 enables k-copy placement with "
+                            "autonomous repair; 1 = single-location "
+                            "(the prototype)")
 
     simulate = commands.add_parser(
         "simulate", help="run a virtual-time cluster experiment")
@@ -74,6 +79,10 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--time-factor", type=float, default=0.3)
     simulate.add_argument("--prewarm", action="store_true",
                           help="start from a balanced (warmed) cluster")
+    simulate.add_argument("--replication-k", type=int, default=1,
+                          metavar="K",
+                          help="replication-group size (K >= 2 enables "
+                               "replication groups with autonomous repair)")
 
     dataset = commands.add_parser(
         "dataset", help="generate one of the paper's data sets")
@@ -90,7 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["figure6", "figure7", "figure8", "table2",
                                 "overhead", "cps_vs_bps",
                                 "ablation_baselines", "ablation_replication",
-                                "ablation_selection"])
+                                "ablation_selection", "bench_kill_holder"])
     return parser
 
 
@@ -119,6 +128,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.time_factor != 1.0 else ServerConfig()
     if getattr(args, "wal_fsync", "interval") != config.wal_fsync:
         config = dataclasses.replace(config, wal_fsync=args.wal_fsync)
+    replication_k = getattr(args, "replication_k", 1)
+    if replication_k > 1:
+        config = dataclasses.replace(
+            config, replication_k=replication_k,
+            max_replicas=max(config.max_replicas, replication_k))
     workers = getattr(args, "workers", 1)
     if workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
@@ -183,10 +197,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.sim.cluster import ClusterConfig, SimCluster
 
     site = DATASET_BUILDERS[args.dataset](seed=0)
+    server_config = ServerConfig().scaled(args.time_factor)
+    replication_k = getattr(args, "replication_k", 1)
+    if replication_k > 1:
+        import dataclasses
+
+        server_config = dataclasses.replace(
+            server_config, replication_k=replication_k,
+            max_replicas=max(server_config.max_replicas, replication_k))
     config = ClusterConfig(
         servers=args.servers, clients=args.clients, duration=args.duration,
         sample_interval=args.sample_interval, seed=args.seed,
-        server_config=ServerConfig().scaled(args.time_factor),
+        server_config=server_config,
         prewarm=args.prewarm)
     print(f"simulating {args.dataset}: {args.servers} servers, "
           f"{args.clients} clients, {args.duration:g}s virtual "
@@ -203,6 +225,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"migrations {result.migrations}   drops {result.drops}   "
           f"redirects {result.redirects_served}   "
           f"events {result.events_processed}")
+    if result.repairs or result.replica_drops:
+        print(f"replica repairs {result.repairs}   "
+              f"replica drops {result.replica_drops}")
     return 0
 
 

@@ -11,15 +11,22 @@ channels instead.
 from __future__ import annotations
 
 import socket
-from typing import List, Optional, Tuple, TYPE_CHECKING
+import time
+import zlib
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.document import Location
-from repro.errors import HTTPError
+from repro.core.naming import (
+    REPLICAS_HEADER,
+    decode_migrated_path,
+    is_migrated_path,
+)
+from repro.errors import HTTPError, NamingError
 from repro.html.links import extract_links
 from repro.html.parser import parse_html
 from repro.http.content import gunzip_bytes
 from repro.http.messages import Request, Response, parse_response
-from repro.http.urls import URL
+from repro.http.urls import URL, parse_url
 from repro.client.walker import FetchOutcome
 
 if TYPE_CHECKING:
@@ -33,6 +40,71 @@ _MAX_RESPONSE = 64 * 1024 * 1024
 # Responses that never carry a body, regardless of Content-Length (which,
 # when present, describes the entity the body *would* have been).
 _BODYLESS_STATUSES = (204, 304)
+
+# Requester-side replica failure memory: authorities whose transport
+# recently refused/reset, remembered briefly so the replica chooser and
+# the home fallback route around them instead of re-timing-out on every
+# request (DistCache-style client-side failover).
+_REPLICA_FAILURE_TTL = 5.0
+_replica_failures: Dict[str, float] = {}
+
+
+def _note_replica_failure(authority: str) -> None:
+    _replica_failures[authority] = time.monotonic()
+
+
+def _replica_recently_failed(authority: str) -> bool:
+    failed_at = _replica_failures.get(authority)
+    if failed_at is None:
+        return False
+    if time.monotonic() - failed_at > _REPLICA_FAILURE_TTL:
+        del _replica_failures[authority]
+        return False
+    return True
+
+
+def reset_replica_failures() -> None:
+    """Forget the failure memory (test isolation)."""
+    _replica_failures.clear()
+
+
+def _home_fallback(url: URL) -> Optional[URL]:
+    """The home-server URL a migrated-form *url* encodes, if any.
+
+    Pull-through naming means the home always holds the permanent copy,
+    so a requester that cannot reach a co-op can re-derive the home URL
+    from the path alone — no second lookup, no out-of-band state.
+    """
+    try:
+        home, original = decode_migrated_path(url.path)
+    except NamingError:
+        return None
+    if f"{home.host}:{home.port}" == url.authority:
+        return None
+    return parse_url(f"http://{home.host}:{home.port}{original}")
+
+
+def _choose_replica(url: URL, header: str) -> URL:
+    """Apply two-choices with failure memory to an advertised replica set.
+
+    The home's redirect already made a load-weighted pick; keep it
+    unless its authority recently failed at the transport level, in
+    which case reroute to a digest-spread sibling that has not.
+    """
+    candidates = [a.strip() for a in header.split(",") if a.strip()]
+    if len(candidates) < 2 or not is_migrated_path(url.path):
+        return url
+    if url.authority in candidates and \
+            not _replica_recently_failed(url.authority):
+        return url
+    digest = zlib.crc32(url.request_target.encode("latin-1", "replace"))
+    order = [candidates[digest % len(candidates)],
+             candidates[(digest >> 16) % len(candidates)]]
+    for authority in order + candidates:
+        if authority != url.authority and \
+                not _replica_recently_failed(authority):
+            return parse_url(f"http://{authority}{url.request_target}")
+    return url
 
 
 def http_fetch(peer: Location, request: Request, *,
@@ -133,6 +205,7 @@ def fetch_url(url: URL, *, timeout: float = 10.0,
     :class:`repro.client.walker.RandomWalker` for real-transport runs.
     """
     redirected = False
+    fell_back = False
     current = url
     followed = 0
     while True:
@@ -152,14 +225,28 @@ def fetch_url(url: URL, *, timeout: float = 10.0,
             response = http_fetch(Location(current.host, current.port),
                                   request, timeout=timeout, pool=pool)
         except (OSError, HTTPError):
-            return FetchOutcome(status=599, redirected=redirected)
+            _note_replica_failure(current.authority)
+            if not fell_back and followed < max_redirects:
+                # A dead co-op is not a dead document: the migrated path
+                # encodes the home, which always holds the permanent
+                # copy — retry there once before giving up.
+                fallback = _home_fallback(current)
+                if fallback is not None:
+                    current = fallback
+                    fell_back = True
+                    redirected = True
+                    followed += 1
+                    continue
+            return FetchOutcome(status=599, redirected=redirected,
+                                replica_fallback=fell_back)
         if response.status == 304 and cached is not None:
             validators.not_modified += 1
             return FetchOutcome(status=304, size=cached.size,
                                 links=list(cached.links),
                                 images=list(cached.images),
                                 redirected=redirected,
-                                not_modified=True, wire_size=0)
+                                not_modified=True, wire_size=0,
+                                replica_fallback=fell_back)
         if response.status in (301, 302):
             location = response.headers.get("Location")
             if not location or followed >= max_redirects:
@@ -167,10 +254,18 @@ def fetch_url(url: URL, *, timeout: float = 10.0,
                 # itself, the way max_redirects=0 callers expect.
                 return FetchOutcome(status=response.status,
                                     size=len(response.body),
-                                    redirected=redirected)
+                                    redirected=redirected,
+                                    replica_fallback=fell_back)
             from repro.http.urls import join_url
 
             current = join_url(current, location)
+            replicas = response.headers.get(REPLICAS_HEADER, "") or ""
+            if replicas:
+                rerouted = _choose_replica(current, replicas)
+                if rerouted is not current:
+                    fell_back = fell_back or \
+                        rerouted.authority != current.authority
+                    current = rerouted
             redirected = True
             followed += 1
             continue
@@ -180,7 +275,8 @@ def fetch_url(url: URL, *, timeout: float = 10.0,
             try:
                 response.body = gunzip_bytes(response.body)
             except (OSError, ValueError):
-                return FetchOutcome(status=599, redirected=redirected)
+                return FetchOutcome(status=599, redirected=redirected,
+                                    replica_fallback=fell_back)
             response.headers.remove("Content-Encoding")
         links, images = _split_links(response)
         if validators is not None and response.ok:
@@ -191,7 +287,7 @@ def fetch_url(url: URL, *, timeout: float = 10.0,
                 size=len(response.body), links=links, images=images)
         return FetchOutcome(status=response.status, size=len(response.body),
                             links=links, images=images, redirected=redirected,
-                            wire_size=wire_size)
+                            wire_size=wire_size, replica_fallback=fell_back)
 
 
 def browser_fetch(*, timeout: float = 10.0,

@@ -57,6 +57,10 @@ class FetchOutcome:
     redirected: bool = False
     not_modified: bool = False
     wire_size: Optional[int] = None
+    # A replica holder failed at the transport level and the client
+    # recovered by itself — re-deriving the home URL from the migrated
+    # path, or rerouting to an advertised sibling replica.
+    replica_fallback: bool = False
 
     @property
     def ok(self) -> bool:
@@ -128,6 +132,7 @@ class WalkerStats:
     transport_failures: int = 0
     transport_retries: int = 0
     backoff_time: float = 0.0
+    replica_fallbacks: int = 0  # fetches that self-healed via home/replica
 
 
 class RandomWalker:
@@ -237,6 +242,8 @@ class RandomWalker:
                 self.stats.not_modified += 1
             if outcome.redirected:
                 self.stats.redirects += 1
+            if outcome.replica_fallback:
+                self.stats.replica_fallbacks += 1
             if outcome.transport_failed:
                 self.stats.transport_failures += 1
                 if transport_tries >= self.max_transport_retries:

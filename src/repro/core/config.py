@@ -77,6 +77,30 @@ class ServerConfig:
     # co-ops.  0 disables replication (prototype behaviour: footnote 1,
     # "each document may be migrated to only one co-op server").
     max_replicas: int = 1
+    # Reactive replication budget: how many documents the periodic
+    # replication pass may replicate per statistics interval.  1 is the
+    # historical behaviour (one replication per round, mirroring the
+    # paper's one-migration-per-interval pacing).
+    max_replications_per_interval: int = 1
+    # --- replication groups with autonomous repair ----------------------
+    # ``replication_k`` is the target number of live holders per
+    # replication group (the k of k-copy placement).  1 disables the
+    # subsystem entirely; with k >= 2 every hot migrated document gets a
+    # group that the repair loop proactively tops up to k holders and
+    # autonomously re-replicates when the circuit breaker or the pinger
+    # declares a holder dead — a single co-op crash then costs zero
+    # availability and no revoke/re-home cycle.
+    replication_k: int = 1
+    # Groups with at least ``replication_sufficient`` live holders (but
+    # fewer than k) are *degraded*; below that they are *critical* and
+    # repair first.  Must satisfy 1 <= sufficient <= k.
+    replication_sufficient: int = 1
+    # Accumulated hits below which a migrated document does not get a
+    # replication group (0 = every migrated document is group-managed).
+    replication_heat_threshold: float = 0.0
+    # How often the repair loop runs off the engine tick.  0 means
+    # "every statistics interval" (T_st), the migration round's cadence.
+    replication_repair_interval: float = 0.0
     # Document-selection policy.  "paper" is Algorithm 1; "hottest" takes
     # the highest-hit candidate ignoring link locality (ablating steps
     # 4-5); "random" picks uniformly among threshold survivors.
@@ -184,6 +208,8 @@ class ServerConfig:
             "validation_interval", "home_remigration_interval",
             "coop_migration_spacing", "max_migrations_per_interval",
             "ping_failure_limit", "max_replicas",
+            "max_replications_per_interval", "replication_k",
+            "replication_sufficient",
             "keep_alive_timeout", "keep_alive_max_requests",
             "listen_backlog", "max_connections", "write_buffer_limit",
             "breaker_failure_threshold", "breaker_reset_timeout",
@@ -221,6 +247,15 @@ class ServerConfig:
             raise ConfigError(f"unknown wal_fsync policy: {self.wal_fsync!r}")
         if self.wal_fsync_interval <= 0:
             raise ConfigError("wal_fsync_interval must be positive")
+        if self.replication_sufficient > self.replication_k:
+            raise ConfigError(
+                "replication_sufficient must be <= replication_k")
+        if self.replication_heat_threshold < 0:
+            raise ConfigError(
+                "replication_heat_threshold must be non-negative")
+        if self.replication_repair_interval < 0:
+            raise ConfigError(
+                "replication_repair_interval must be non-negative")
 
     def scaled(self, time_factor: float) -> "ServerConfig":
         """Return a copy with every time interval multiplied by
@@ -235,6 +270,8 @@ class ServerConfig:
             validation_interval=self.validation_interval * time_factor,
             home_remigration_interval=self.home_remigration_interval * time_factor,
             coop_migration_spacing=self.coop_migration_spacing * time_factor,
+            replication_repair_interval=(
+                self.replication_repair_interval * time_factor),
         )
 
     def as_table(self) -> Dict[str, Any]:

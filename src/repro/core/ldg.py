@@ -185,6 +185,32 @@ class LocalDocumentGraph:
         self._dirty_self(record)
         return self._dirty_referrers(record)
 
+    def drop_holder(self, name: str, dead: Location) -> List[str]:
+        """Replication groups: remove *dead* from *name*'s holder set.
+
+        When the primary died the lowest-sorted surviving replica is
+        promoted to primary, so the document stays migrated instead of
+        bouncing home.  Raises :class:`MigrationError` when *dead* is not
+        a holder or no live holder would survive (callers revoke then).
+        Returns the dirtied referrer names; the version bump from
+        ``_dirty_self`` invalidates cached responses whose rewritten
+        links may still point at the dead holder.
+        """
+        record = self.get(name)
+        if dead not in record.locations():
+            raise MigrationError(f"{dead} does not hold {name!r}")
+        survivors = sorted(
+            (loc for loc in record.locations() if loc != dead), key=str)
+        if not survivors or survivors == [self.home]:
+            raise MigrationError(f"no surviving holder for {name!r}")
+        if record.location == dead:
+            promoted = survivors[0]
+            record.location = promoted
+            record.replicas.discard(promoted)
+        record.replicas.discard(dead)
+        self._dirty_self(record)
+        return self._dirty_referrers(record)
+
     def _dirty_self(self, record: DocumentRecord) -> None:
         """A relocated document's own hyperlinks must be rewritten to
         absolute URLs (it may now be served from a foreign path), and its

@@ -37,11 +37,18 @@ from repro.core.selection import (
 
 @dataclass(frozen=True)
 class MigrationDecision:
-    """One applied (logical) migration, revocation, or replication."""
+    """One applied (logical) migration, revocation, or replication.
+
+    ``replica_drop`` removes a dead holder from a replication group
+    (promoting a surviving replica to primary when the primary died);
+    ``repair`` adds a replacement holder — both are issued by the
+    autonomous repair machinery rather than the periodic load round.
+    """
 
     name: str
     target: Location
     kind: str  # "migrate" | "revoke" | "remigrate" | "replicate"
+               # | "replica_drop" | "repair"
     dirtied: Sequence[str] = ()
 
 
@@ -136,6 +143,11 @@ class MigrationPolicy:
         if record is None:
             return None
         return record.coop, record.migrated_at
+
+    def restored_replicas(self, name: str) -> Dict[str, float]:
+        """Replica-addition times for *name* (snapshot writers)."""
+        record = self._migrations.get(name)
+        return dict(record.replicas) if record else {}
 
     # ------------------------------------------------------------------
     # Periodic decisions (driven by the statistics interval)
@@ -338,8 +350,60 @@ class MigrationPolicy:
             decisions.append(self._note(MigrationDecision(
                 name=name, target=target, kind="replicate",
                 dirtied=tuple(dirtied))))
-            break  # at most one replication per round
+            if len(decisions) >= self.config.max_replications_per_interval:
+                break  # per-round replication budget exhausted
         return decisions
+
+    # ------------------------------------------------------------------
+    # Replication groups: holder death and autonomous repair
+    # ------------------------------------------------------------------
+
+    def drop_holder(self, name: str, dead: Location) -> Optional[MigrationDecision]:
+        """Remove *dead* from *name*'s holder set, keeping survivors.
+
+        The replication-group alternative to a full revocation: when the
+        primary died, the lowest-sorted surviving replica is promoted to
+        primary, so the document never bounces back home and referring
+        links are rewritten straight to live copies.  Returns ``None``
+        when *dead* is not a holder or no live holder would survive (the
+        caller then falls back to :meth:`revoke`).
+        """
+        record = self._migrations.get(name)
+        document = self.graph.find(name)
+        if record is None or document is None:
+            return None
+        if dead != record.coop and dead not in document.replicas:
+            return None
+        survivors = [loc for loc in document.locations() if loc != dead]
+        if not survivors or survivors == [self.graph.home]:
+            return None
+        dirtied = self.graph.drop_holder(name, dead)
+        if record.coop == dead:
+            record.coop = document.location  # the promoted survivor
+            record.replicas.pop(str(record.coop), None)
+        record.replicas.pop(str(dead), None)
+        return self._note(MigrationDecision(
+            name=name, target=record.coop, kind="replica_drop",
+            dirtied=tuple(dirtied)))
+
+    def repair_replica(self, name: str, target: Location,
+                       now: float) -> MigrationDecision:
+        """Add *target* as a replacement holder of migrated *name*.
+
+        Issued by the repair loop; like :meth:`force_migrate` it bypasses
+        the T_coop rate limit — restoring availability beats pacing.
+        """
+        dirtied = self.graph.add_replica(name, target)
+        record = self._migrations.get(name)
+        if record is None:
+            # First holder: add_replica promoted target to primary.
+            self._migrations[name] = _MigrationRecord(coop=target,
+                                                      migrated_at=now)
+        else:
+            record.replicas[str(target)] = now
+        return self._note(MigrationDecision(
+            name=name, target=target, kind="repair",
+            dirtied=tuple(dirtied)))
 
     # ------------------------------------------------------------------
     # Revocation (section 4.5, cases 1 and 3)
@@ -354,7 +418,14 @@ class MigrationPolicy:
             dirtied=tuple(dirtied)))
 
     def revoke_all_from(self, coop: Location) -> List[MigrationDecision]:
-        """Recall every document hosted by a dead co-op server."""
+        """Recall every document hosted by a dead co-op server.
+
+        Documents with surviving holders stay migrated: the dead holder
+        is dropped from the group (``replica_drop``, promoting a replica
+        when the primary died) instead of bouncing the document home —
+        the availability win replication groups exist to provide.  Only
+        sole-holder documents take the classic full revocation.
+        """
         decisions: List[MigrationDecision] = []
         for name in list(self._migrations):
             record = self._migrations[name]
@@ -363,12 +434,9 @@ class MigrationPolicy:
                 document is not None and coop in document.replicas)
             if not hosted_there:
                 continue
-            if document is not None and coop in document.replicas:
-                document.replicas.discard(coop)
-                dirtied = self.graph.dirty_referrers(name)
-                decisions.append(self._note(MigrationDecision(
-                    name=name, target=self.graph.home, kind="revoke",
-                    dirtied=tuple(dirtied))))
+            dropped = self.drop_holder(name, coop)
+            if dropped is not None:
+                decisions.append(dropped)
                 continue
             decisions.append(self.revoke(name))
         return decisions

@@ -21,6 +21,13 @@ from repro.http.urls import URL, split_path
 
 MIGRATE_MARKER = "~migrate"
 
+# Replication extension: a home server's redirect for a replicated
+# document names every live holder (comma-separated ``host:port``) so
+# requesters can apply power-of-two-choices — and fail over — without a
+# second round trip.  Shared by the engine (writer) and the real client
+# (reader); ordinary clients ignore the extension header.
+REPLICAS_HEADER = "X-DCWS-Replicas"
+
 
 def encode_migrated_path(home: Location, path: str) -> str:
     """Encode *path* (on its *home* server) into the co-op request path.

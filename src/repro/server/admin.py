@@ -67,6 +67,8 @@ def render_status(engine) -> str:
         f"migrations              {stats.migrations}",
         f"revocations             {stats.revocations}",
         f"replications            {stats.replications}",
+        f"replica repairs         {stats.repairs}",
+        f"replica drops           {stats.replica_drops}",
         f"pulls started/completed {stats.pulls_started}/{stats.pulls_completed}",
         f"validations             {stats.validations}",
         f"pings                   {stats.pings}",
@@ -272,6 +274,55 @@ def render_workers(engine) -> str:
     return "\n".join(lines) + "\n"
 
 
+def render_replication(engine) -> str:
+    """Replication groups and the repair daemon (``/~dcws/replication``).
+
+    Group roster with live-holder counts and states, the copies
+    histogram, and the repair/two-choices counters — the operator's view
+    of how far the cluster is from its k-copy target.
+    """
+    manager = getattr(engine, "replication", None)
+    if manager is None:
+        return ("replication: disabled (replication_k <= 1)\n"
+                f"replicated documents "
+                f"{sum(1 for r in engine.graph.documents() if r.replicas)}\n")
+    now = getattr(engine, "_admin_now", 0.0)
+    counters = manager.counters
+    lines: List[str] = [
+        f"replication groups      {len(manager.groups)}",
+        f"  target k              {manager.config.replication_k}",
+        f"  sufficient            {manager.config.replication_sufficient}",
+        f"  below target          {manager.groups_below_target()}",
+        f"  repair interval       {manager.repair_interval:g}s",
+        f"repairs                 {counters.repairs}",
+        f"replica drops           {counters.replica_drops}",
+        f"state changes           {counters.state_changes}",
+        f"two-choices picks       {counters.two_choices_picks}",
+        f"  took the alternate    {counters.two_choices_alternates}",
+        "",
+        "copies histogram (live holders -> groups):",
+    ]
+    histogram = manager.copies_histogram()
+    if histogram:
+        for live in sorted(histogram):
+            lines.append(f"  {live:>2} {histogram[live]}")
+    else:
+        lines.append("  (no groups)")
+    lines.append("")
+    header = (f"{'Document':<40} {'State':>9} {'Live':>5} {'Target':>7} "
+              f"{'Repairs':>8} {'LastRepair':>11}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in sorted(manager.groups):
+        group = manager.groups[name]
+        live = len(manager.live_holders(name))
+        repaired = ("never" if not group.repaired_at
+                    else f"{max(0.0, now - group.repaired_at):.1f}s")
+        lines.append(f"{name:<40} {group.state:>9} {live:>5} "
+                     f"{group.target:>7} {group.repairs:>8} {repaired:>11}")
+    return "\n".join(lines) + "\n"
+
+
 #: endpoint path (under /~dcws/) -> renderer
 ENDPOINTS = {
     "status": render_status,
@@ -281,6 +332,7 @@ ENDPOINTS = {
     "events": render_events,
     "caches": render_caches,
     "durability": render_durability,
+    "replication": render_replication,
     "workers": render_workers,
     "health": render_health,
 }

@@ -47,6 +47,7 @@ from repro.core.ldg import LocalDocumentGraph
 from repro.core.metrics import ServerMetrics
 from repro.core.migration import MigrationDecision, MigrationPolicy
 from repro.core.naming import (
+    REPLICAS_HEADER,
     decode_migrated_path,
     encode_migrated_path,
     home_url,
@@ -93,6 +94,7 @@ from repro.server.admin import ADMIN_PREFIX, HEALTH_PATH
 from repro.server.cache import CachedResponse, CachingStore, ResponseCache
 from repro.server.entrygate import COOKIE_NAME, EntryGate
 from repro.server.filestore import DocumentStore, MemoryStore, guess_content_type
+from repro.server.replication import ReplicationManager
 from repro.server.striping import ShardVersions
 
 if TYPE_CHECKING:
@@ -256,6 +258,8 @@ class EngineStats:
     migrations: int = 0
     revocations: int = 0
     replications: int = 0
+    replica_drops: int = 0   # dead holders shed from replication groups
+    repairs: int = 0         # replacement holders added by the repair loop
     decisions: List[MigrationDecision] = field(default_factory=list)
 
 
@@ -318,6 +322,17 @@ class DCWSEngine:
         self.metrics = ServerMetrics(config.stats_interval)
         self.validation = DueTracker(config.validation_interval)
         self.health = PeerHealth(config.ping_failure_limit)
+        # Replication groups with autonomous repair (replication_k >= 2):
+        # the manager owns group bookkeeping and the repair loop; its
+        # decisions surface through the policy callback above, so they
+        # are journaled and seqlock-stamped like every other relocation.
+        self.replication: Optional[ReplicationManager] = None
+        if config.replication_k > 1:
+            self.replication = ReplicationManager(
+                config, self.graph, self.glt, self.policy,
+                alive=self._peer_available,
+                log=lambda msg: self.log.record(self._clock, "replication",
+                                                detail=msg))
         # Set by hosts that own a pooled transport: per-peer circuit
         # breaker consulted for migration-target availability and
         # surfaced by the /~dcws/peers endpoint.
@@ -665,8 +680,16 @@ class DCWSEngine:
             location_url = migrated_url(target, self.location, path)
             self.metrics.record_redirect(now)
             self.stats.responses_301 += 1
-            reply = self._finish(request, redirect_response(str(location_url)),
-                                 now, doc_name=path)
+            response = redirect_response(str(location_url))
+            if self.replication is not None:
+                # Stamp the live replica set so requesters can apply
+                # two-choices — and fail over — without asking again.
+                live = self.replication.live_holders(path)
+                if len(live) > 1:
+                    response.headers.set(
+                        REPLICAS_HEADER,
+                        ",".join(str(loc) for loc in live))
+            reply = self._finish(request, response, now, doc_name=path)
             return reply
         return self._serve_home_document(request, record, now)
 
@@ -918,6 +941,10 @@ class DCWSEngine:
         with replication enabled the choice is a deterministic hash so load
         spreads without per-request state.
         """
+        if self.replication is not None:
+            # Replication groups: power-of-two-choices over the live
+            # holders, weighted by last-known GLT load.
+            return self.replication.pick(record, salt)
         locations = sorted(record.locations(), key=str)
         if len(locations) == 1:
             return locations[0]
@@ -1288,12 +1315,34 @@ class DCWSEngine:
                 now - self._last_stats_at >= self.config.stats_interval:
             self._recalculate_statistics(now)
             self._last_stats_at = now
+        if self.replication is not None and self.replication.due(now):
+            self._repair_round(now)
         actions.extend(self._validations_due(now))
         if self._last_ping_at is None or \
                 now - self._last_ping_at >= self.config.pinger_interval:
             actions.extend(self._pings_due(now))
             self._last_ping_at = now
         return actions
+
+    def _repair_round(self, now: float) -> None:
+        """Replication repair daemon: one pass, bracketed like the
+        migration round (drops and repairs touch arbitrary shards)."""
+        assert self.replication is not None
+        with self.shards.write_all():
+            decisions = self.replication.repair_round(now)
+        self._count_repair_decisions(decisions, now)
+
+    def _count_repair_decisions(self, decisions: List[MigrationDecision],
+                                now: float) -> None:
+        for decision in decisions:
+            self.stats.decisions.append(decision)
+            self.log.record(now, decision.kind, name=decision.name,
+                            target=str(decision.target),
+                            dirtied=len(decision.dirtied))
+            if decision.kind == "repair":
+                self.stats.repairs += 1
+            elif decision.kind == "replica_drop":
+                self.stats.replica_drops += 1
 
     def _recalculate_statistics(self, now: float) -> None:
         """T_st boundary: refresh own GLT row, run migration decisions."""
@@ -1438,12 +1487,18 @@ class DCWSEngine:
     def _declare_dead(self, peer: Location, now: float) -> None:
         self.log.record(now, "peer_dead", peer=str(peer))
         # Revoking every document hosted on the dead peer mutates
-        # records across arbitrary shards; bracket the sweep.
+        # records across arbitrary shards; bracket the sweep.  Documents
+        # with surviving replica holders are *dropped* from the dead
+        # peer (kind ``replica_drop``) rather than revoked — they keep
+        # serving from the survivors with no redirect churn.
         with self.shards.write_all():
             decisions = self.policy.revoke_all_from(peer)
         for decision in decisions:
             self.stats.decisions.append(decision)
-            self.stats.revocations += 1
+            if decision.kind == "replica_drop":
+                self.stats.replica_drops += 1
+            else:
+                self.stats.revocations += 1
         self.glt.remove(peer)
         self.health.forget(str(peer))
         if self.breaker is not None:
@@ -1451,6 +1506,11 @@ class DCWSEngine:
             # fast-fails instead of burning timeouts, and a revived peer
             # heals through the normal half-open probe.
             self.breaker.trip(str(peer))
+        if self.replication is not None:
+            # Autonomous repair, immediately: re-replicate the degraded
+            # groups instead of waiting for the next scheduled round.
+            # Purely logical — replacement holders pull bytes lazily.
+            self._repair_round(now)
 
     # ------------------------------------------------------------------
     # Warm-state helpers (operator tooling and benchmark pre-warming)

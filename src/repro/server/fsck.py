@@ -23,7 +23,13 @@ Checked invariants:
     migrated-form links: a link rewritten toward a co-op must point at a
     current location of its target — otherwise a crash forgot a
     revocation that the on-disk hyperlinks still remember;
-6.  validation deadlines track exactly the fetched hosted entries.
+6.  validation deadlines track exactly the fetched hosted entries;
+7.  replica sets are well-formed: no replica equals the home location
+    or duplicates the primary, every holder of a replicated document is
+    a server the GLT still knows, every replicated hosted entry has
+    bytes present or is registered unfetched, and (when the replication
+    manager is active) every group tracks a currently migrated
+    document.
 
 Violations are strings (path + what is wrong), so test failures read as
 a diagnosis rather than a boolean.
@@ -114,6 +120,9 @@ def check_engine(engine: DCWSEngine, *,
             violations.append(
                 f"validation deadline for unknown hosted entry {key}")
 
+    # 7. replica invariants
+    violations.extend(_check_replicas(engine))
+
     # 5. clean documents carry no stale migrated-form links
     if check_links:
         violations.extend(_check_clean_links(engine))
@@ -162,6 +171,58 @@ def _check_clean_links(engine: DCWSEngine) -> List[str]:
                     f"clean document {record.name} links {original} at "
                     f"{link_host}, but its current locations are "
                     f"{sorted(current)} (stale rewritten link)")
+    return violations
+
+
+def _check_replicas(engine: DCWSEngine) -> List[str]:
+    """Invariant 7: replica sets and replication groups are well-formed."""
+    violations: List[str] = []
+    home = engine.location
+    for record in engine.graph.documents():
+        if not record.replicas:
+            continue
+        if home in record.replicas:
+            violations.append(
+                f"document {record.name} lists its home {home} as a "
+                f"replica")
+        if record.location in record.replicas:
+            violations.append(
+                f"document {record.name} lists its primary "
+                f"{record.location} among its replicas")
+        if record.location == home:
+            violations.append(
+                f"document {record.name} is at home but still carries "
+                f"replicas {sorted(map(str, record.replicas))}")
+    # A hosted (co-op side) copy of a replicated document must either be
+    # backed by bytes or registered unfetched (it then re-pulls from the
+    # home on demand); an unfetched entry claiming a size would serve a
+    # phantom.  Complements invariant 3's fetched-without-bytes check.
+    for key, entry in engine.hosted.items():
+        if not entry.fetched and entry.size:
+            violations.append(
+                f"unfetched hosted entry {key} claims size {entry.size}")
+    if engine.replication is not None:
+        # Active manager: every holder of a group-managed document must
+        # still be a server the GLT knows (a dead holder must have been
+        # dropped by repair, not linger in the serving set), and every
+        # group must track a currently migrated document.
+        migrated = set(engine.policy.migrated_names())
+        for name, group in engine.replication.groups.items():
+            record = engine.graph.find(name)
+            if record is None or name not in migrated:
+                violations.append(
+                    f"replication group for {name} but the document is "
+                    f"not migrated")
+                continue
+            for holder in sorted(record.locations(), key=str):
+                if holder != home and holder not in engine.glt:
+                    violations.append(
+                        f"document {name} held by {holder}, which the "
+                        f"GLT no longer knows")
+            if group.target < 1:
+                violations.append(
+                    f"replication group for {name} has target "
+                    f"{group.target}")
     return violations
 
 

@@ -199,6 +199,7 @@ class _WorkerHost(AsyncDCWSServer):
         if names:
             self.channel.send({"kind": "invalidate", "names": names})
         stats = self.engine.stats
+        manager = self.engine.replication
         self.channel.send({
             "kind": "stats",
             "worker": self.worker_index,
@@ -207,6 +208,10 @@ class _WorkerHost(AsyncDCWSServer):
             "responses_200": stats.responses_200,
             "accepted": self.connections_accepted,
             "response_cache_hits": self.engine.response_cache.stats.hits,
+            "repairs": stats.repairs,
+            "replica_drops": stats.replica_drops,
+            "two_choices_picks":
+                manager.counters.two_choices_picks if manager else 0,
         })
 
     # -- inbound: supervisor messages ------------------------------------
@@ -713,6 +718,8 @@ class WorkerSupervisor:
                 "response_cache_hits":
                     proc.stats.get("response_cache_hits", 0),
                 "rps": round(proc.rps, 3),
+                "repairs": proc.stats.get("repairs", 0),
+                "replica_drops": proc.stats.get("replica_drops", 0),
                 "shards": shards,
             }
         return {"mode": self.mode, "port": self.port, "stripes": stripes,
@@ -722,7 +729,8 @@ class WorkerSupervisor:
     def aggregate_stats(self) -> Dict[str, int]:
         """Summed counters across workers (benchmark reporting)."""
         totals = {"requests": 0, "responses_200": 0, "accepted": 0,
-                  "response_cache_hits": 0}
+                  "response_cache_hits": 0, "repairs": 0,
+                  "replica_drops": 0, "two_choices_picks": 0}
         for proc in self._procs:
             for key in totals:
                 totals[key] += int(proc.stats.get(key, 0))

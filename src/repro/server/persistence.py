@@ -100,8 +100,11 @@ def snapshot_engine(engine: DCWSEngine, now: float, *,
     for name in engine.policy.migrated_names():
         restored = engine.policy.restored(name)
         if restored is not None:
-            migrations[name] = {"coop": str(restored[0]),
-                                "migrated_at": restored[1]}
+            entry = {"coop": str(restored[0]), "migrated_at": restored[1]}
+            replicas = engine.policy.restored_replicas(name)
+            if replicas:  # absent key == no replicas (seed-format compatible)
+                entry["replicas"] = replicas
+            migrations[name] = entry
     glt = [{"server": row.server, "metric": row.metric,
             "ts": row.timestamp}
            for row in engine.glt.snapshot()
@@ -115,6 +118,8 @@ def snapshot_engine(engine: DCWSEngine, now: float, *,
         "documents": documents,
         "hosted": hosted,
         "migrations": migrations,
+        "replication": engine.replication.snapshot()
+        if engine.replication is not None else [],
         "glt": glt,
     }
     data[_CHECKSUM_KEY] = _payload_checksum(data)
@@ -207,10 +212,13 @@ def restore_engine(engine: DCWSEngine, snapshot: Dict[str, Any],
             continue
         if isinstance(saved, str):  # version-1 snapshots: target only
             coop, migrated_at = Location.parse(saved), now
+            replicas: Dict[str, float] = {}
         else:
             coop = Location.parse(saved["coop"])
             migrated_at = float(saved.get("migrated_at", now))
-        engine.policy.restore(name, coop, migrated_at)
+            replicas = {str(k): float(v)
+                        for k, v in saved.get("replicas", {}).items()}
+        engine.policy.restore(name, coop, migrated_at, replicas=replicas)
     for key, saved in snapshot.get("hosted", {}).items():
         fetched = key in engine.store
         entry = HostedDocument(
@@ -236,6 +244,8 @@ def restore_engine(engine: DCWSEngine, snapshot: Dict[str, Any],
                                 metric=float(row["metric"]),
                                 timestamp=float(row["ts"]))
                      for row in snapshot.get("glt", []))
+    if engine.replication is not None:
+        engine.replication.restore(snapshot.get("replication", []))
     return restored
 
 
@@ -293,7 +303,8 @@ def apply_record(engine: DCWSEngine, record: JournalRecord) -> None:
     on disk is a no-op rather than an error.
     """
     fields = record.fields
-    if record.kind in ("migrate", "remigrate", "revoke", "replicate"):
+    if record.kind in ("migrate", "remigrate", "revoke", "replicate",
+                       "replica_drop", "repair"):
         name = str(fields["name"])
         location = Location.parse(str(fields["location"]))
         replicas = [str(r) for r in fields.get("replicas", [])]
@@ -316,7 +327,8 @@ def apply_record(engine: DCWSEngine, record: JournalRecord) -> None:
             engine.policy.restore(
                 name, location,
                 float(migrated_at) if migrated_at is not None
-                else record.time)
+                else record.time,
+                replicas={r: record.time for r in replicas})
         return
     if record.kind == "pull":
         key = str(fields["key"])

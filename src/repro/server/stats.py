@@ -51,6 +51,19 @@ class ClusterSample:
     wal_checkpoint_age: float = 0.0
     recovery_records_replayed: int = 0
     recovery_torn_tails: int = 0
+    # Replication groups with autonomous repair, summed across engines
+    # whose config enables the subsystem (replication_k >= 2): group
+    # census at sample time, lifetime repair-loop activity, and how the
+    # two-choices replica picker behaved.  ``replication_copies`` is a
+    # histogram of live-holder count -> number of groups (keys are
+    # strings for JSON friendliness).
+    replication_groups: int = 0
+    replication_groups_below_target: int = 0
+    replication_repairs: int = 0
+    replication_replica_drops: int = 0
+    replication_two_choices_picks: int = 0
+    replication_two_choices_alternates: int = 0
+    replication_copies: Dict[str, int] = field(default_factory=dict)
     # Multi-process front end: requests/second per worker process, keyed
     # by worker index ("0", "1", ...).  Empty in single-process runs.
     per_worker_rps: Dict[str, float] = field(default_factory=dict)
@@ -93,6 +106,13 @@ def sample_cluster(now: float, engines: Iterable[DCWSEngine], *,
     wal_checkpoint_age = 0.0
     recovery_replayed = 0
     recovery_torn = 0
+    replication_groups = 0
+    replication_below = 0
+    replication_repairs = 0
+    replication_drops = 0
+    two_choices_picks = 0
+    two_choices_alternates = 0
+    replication_copies: Dict[str, int] = {}
     per_server: Dict[str, float] = {}
     for engine in engines:
         cps = engine.metrics.cps(now)
@@ -122,6 +142,18 @@ def sample_cluster(now: float, engines: Iterable[DCWSEngine], *,
         if recovery is not None:
             recovery_replayed += recovery.records_replayed
             recovery_torn += 1 if recovery.torn_tail_truncated else 0
+        manager = engine.replication
+        if manager is not None:
+            replication_groups += len(manager.groups)
+            replication_below += manager.groups_below_target()
+            replication_repairs += manager.counters.repairs
+            replication_drops += manager.counters.replica_drops
+            two_choices_picks += manager.counters.two_choices_picks
+            two_choices_alternates += manager.counters.two_choices_alternates
+            for live, count in manager.copies_histogram().items():
+                key = str(live)
+                replication_copies[key] = \
+                    replication_copies.get(key, 0) + count
         per_server[str(engine.location)] = cps
     return ClusterSample(time=now, cps=total_cps, bps=total_bps,
                          drops_per_second=total_drops,
@@ -143,6 +175,14 @@ def sample_cluster(now: float, engines: Iterable[DCWSEngine], *,
                          wal_checkpoint_age=wal_checkpoint_age,
                          recovery_records_replayed=recovery_replayed,
                          recovery_torn_tails=recovery_torn,
+                         replication_groups=replication_groups,
+                         replication_groups_below_target=replication_below,
+                         replication_repairs=replication_repairs,
+                         replication_replica_drops=replication_drops,
+                         replication_two_choices_picks=two_choices_picks,
+                         replication_two_choices_alternates=(
+                             two_choices_alternates),
+                         replication_copies=replication_copies,
                          per_worker_rps=dict(worker_rps or {}))
 
 

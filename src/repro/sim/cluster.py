@@ -98,6 +98,22 @@ class SimulationResult:
     drops: int
     events_processed: int
     per_server: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    # Replication-group activity (replication_k >= 2 runs).
+    repairs: int = 0
+    replica_drops: int = 0
+    # Client-observed request latencies (virtual seconds, issue to final
+    # byte including redirects/retries), for percentile reporting.
+    latencies: List[float] = field(default_factory=list)
+
+    def latency_percentile(self, fraction: float) -> float:
+        """The *fraction* percentile (0..1) of client latencies; 0.0
+        when no latencies were recorded."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1,
+                    max(0, int(fraction * len(ordered))))
+        return ordered[index]
 
     @property
     def peak_cps(self) -> float:
@@ -356,6 +372,7 @@ class SimCluster:
 
     def _result(self) -> SimulationResult:
         client_stats = WalkerStats()
+        latencies: List[float] = []
         for client in self.clients:
             stats = client.stats
             client_stats.sequences += stats.sequences
@@ -367,14 +384,19 @@ class SimCluster:
             client_stats.redirects += stats.redirects
             client_stats.errors += stats.errors
             client_stats.backoff_time += stats.backoff_time
+            client_stats.replica_fallbacks += stats.replica_fallbacks
+            latencies.extend(client.latencies)
         migrations = revocations = replications = 0
         reconstructions = redirects = drops = 0
+        repairs = replica_drops = 0
         per_server: Dict[str, Dict[str, object]] = {}
         for key, server in self.servers.items():
             engine = server.engine
             migrations += engine.stats.migrations
             revocations += engine.stats.revocations
             replications += engine.stats.replications
+            repairs += engine.stats.repairs
+            replica_drops += engine.stats.replica_drops
             reconstructions += engine.stats.reconstructions
             redirects += engine.stats.responses_301
             drops += server.dropped
@@ -402,4 +424,7 @@ class SimCluster:
             drops=drops,
             events_processed=self.loop.events_processed,
             per_server=per_server,
+            repairs=repairs,
+            replica_drops=replica_drops,
+            latencies=latencies,
         )

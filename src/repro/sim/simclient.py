@@ -25,6 +25,8 @@ from repro.client.walker import (
     WalkerStats,
     select_next_link,
 )
+from repro.core.naming import decode_migrated_path
+from repro.errors import NamingError
 from repro.http.cookies import build_cookie_header, parse_set_cookie
 from repro.http.messages import Request, Response
 from repro.http.urls import URL, join_url
@@ -38,6 +40,23 @@ ParseFn = Callable[[str, bytes], ParsedLinks]
 ClientSendFn = Callable[[URL, Request, Callable[[Optional[Response]], None]], None]
 
 _MAX_REDIRECTS = 5
+
+
+def _home_fallback(url: URL) -> Optional[URL]:
+    """The home-server URL a migrated-form *url* encodes, if any.
+
+    Pull-through naming means the home always holds the permanent copy,
+    so a client that cannot reach a co-op can re-derive the home URL
+    from the path alone — the same failover the real-socket client
+    (:func:`repro.client.realclient.fetch_url`) performs.
+    """
+    try:
+        home, original = decode_migrated_path(url.path)
+    except NamingError:
+        return None
+    if home.host == url.host and home.port == url.port:
+        return None
+    return URL(home.host, home.port, original)
 
 
 class SimClient:
@@ -68,6 +87,10 @@ class SimClient:
         self.backoff = ExponentialBackoff(base=costs.backoff_base,
                                           ceiling=costs.backoff_ceiling)
         self.stats = WalkerStats()
+        # Completed-fetch latencies in virtual seconds (first issue to
+        # terminal response, across redirects and 503 backoff retries) —
+        # the availability/percentile raw material for the benches.
+        self.latencies: List[float] = []
         # The client workstation's per-request work is serialized through
         # one CPU, shared by the main thread and the four image helpers —
         # this is what bounds one benchmark client to the paper's ~45
@@ -208,8 +231,25 @@ class SimClient:
 
     def _request(self, url: URL,
                  on_done: Callable[[URL, Optional[Response]], None],
-                 redirect_depth: int = 0) -> None:
+                 redirect_depth: int = 0, *,
+                 _started: Optional[float] = None,
+                 _fell_back: bool = False) -> None:
         """Issue one request after the client-side per-request overhead."""
+        if _started is None:
+            # Outermost call of this logical fetch: stamp its start and
+            # record the total latency when the terminal response (or
+            # failure) reaches the continuation — redirect hops and
+            # backoff retries all count toward the same figure.
+            _started = self.loop.now
+            terminal = on_done
+
+            def on_done(done_url: URL, response: Optional[Response],
+                        _t0: float = _started,
+                        _terminal=terminal) -> None:
+                self.latencies.append(self.loop.now - _t0)
+                _terminal(done_url, response)
+
+        started = _started
 
         def issue() -> None:
             if self._stopped:
@@ -231,6 +271,14 @@ class SimClient:
                     if parsed is not None:
                         self.cookies[parsed[0]] = parsed[1]
             if response is None:
+                # A dead co-op is not a dead document: retry once at the
+                # home the migrated path encodes (replica failover).
+                fallback = None if _fell_back else _home_fallback(url)
+                if fallback is not None and redirect_depth < _MAX_REDIRECTS:
+                    self.stats.replica_fallbacks += 1
+                    self._request(fallback, on_done, redirect_depth + 1,
+                                  _started=started, _fell_back=True)
+                    return
                 self.stats.errors += 1
                 on_done(url, None)
                 return
@@ -240,7 +288,9 @@ class SimClient:
                 delay = self.backoff.on_drop()
                 self.stats.backoff_time += delay
                 self.loop.schedule_after(
-                    delay, lambda: self._request(url, on_done, redirect_depth))
+                    delay, lambda: self._request(url, on_done, redirect_depth,
+                                                 _started=started,
+                                                 _fell_back=_fell_back))
                 return
             self.backoff.on_success()
             if response.status in (301, 302) and redirect_depth < _MAX_REDIRECTS:
@@ -248,7 +298,8 @@ class SimClient:
                 if location:
                     self.stats.redirects += 1
                     target = join_url(url, location)
-                    self._request(target, on_done, redirect_depth + 1)
+                    self._request(target, on_done, redirect_depth + 1,
+                                  _started=started, _fell_back=_fell_back)
                     return
             on_done(url, response)
 

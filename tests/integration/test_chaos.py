@@ -28,7 +28,11 @@ import time
 import pytest
 
 import repro
-from repro.client.realclient import fetch_url, http_fetch
+from repro.client.realclient import (
+    fetch_url,
+    http_fetch,
+    reset_replica_failures,
+)
 from repro.client.walker import RandomWalker
 from repro.core.config import ServerConfig
 from repro.core.document import Location
@@ -366,6 +370,140 @@ class TestCoopRestartUnderLoad:
                 second.stop()
             first.stop()
             home.stop()
+
+
+class TestReplicaHolderCrash:
+    """Scenario 5: SIGKILL one holder of a k=2 replication group.
+
+    The tentpole gate of the replication-groups subsystem: with k-copy
+    placement and autonomous repair, a single co-op crash mid-crawl must
+    cost *zero* availability (no 404s) and cause *zero* 302-storms (the
+    document is never revoked back home — its surviving copy keeps
+    serving while the repair daemon re-replicates onto a spare co-op).
+    Both the primary holder and the replica holder get killed, in turn.
+    """
+
+    @pytest.mark.parametrize("victim_role", ["primary", "replica"])
+    def test_sigkill_holder_zero_404s_zero_revocations(self, tmp_path,
+                                                       victim_role):
+        reset_replica_failures()
+        home_port = free_port()
+        coop_ports = [free_port() for __ in range(3)]
+        config = ServerConfig(stats_interval=0.3, pinger_interval=0.3,
+                              ping_failure_limit=2,
+                              breaker_reset_timeout=0.2,
+                              replication_k=2, max_replicas=2)
+        engine = DCWSEngine(
+            Location("127.0.0.1", home_port), config, MemoryStore(SITE),
+            entry_points=["/index.html"],
+            peers=[Location("127.0.0.1", p) for p in coop_ports])
+        home = ThreadedDCWSServer(engine, tick_period=0.1)
+
+        script = tmp_path / "coop.py"
+        script.write_text(COOP_SCRIPT)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        procs = {}
+        for port in coop_ports:
+            procs[port] = subprocess.Popen(
+                [sys.executable, str(script), str(port), str(home_port)],
+                env=env, stdout=subprocess.PIPE, text=True)
+        key_d = f"/~migrate/127.0.0.1/{home_port}/d.html"
+        try:
+            # All co-ops must be listening before home's pinger starts:
+            # a peer declared dead during bootstrap is dropped from the
+            # GLT and only gossip would rediscover it.
+            for port in coop_ports:
+                assert procs[port].stdout.readline().strip() == "READY"
+            home.start()
+            primary = Location("127.0.0.1", coop_ports[0])
+            with home._lock:
+                home.engine.policy.force_migrate("/d.html", primary,
+                                                 time.monotonic())
+            # The repair daemon proactively tops the group up to k=2.
+            wait_until(
+                lambda: len(home.engine.graph.get("/d.html").replicas) == 1,
+                10.0, "repair daemon never topped the group up to k=2")
+            replica = next(iter(home.engine.graph.get("/d.html").replicas))
+            # Warm both holders: each pulls its copy over real TCP.
+            for holder in (primary, replica):
+                assert http_fetch(holder,
+                                  Request("GET", key_d)).status == 200
+
+            statuses = []
+            statuses_lock = threading.Lock()
+
+            def recording_fetch(url):
+                outcome = fetch_url(url, timeout=2.0)
+                with statuses_lock:
+                    statuses.append(outcome.status)
+                return outcome
+
+            stats, threads = [], []
+
+            def one(seed: int) -> None:
+                walker = RandomWalker(
+                    [f"http://127.0.0.1:{home_port}/index.html"],
+                    recording_fetch, seed=SEED + seed, sleep=capped_sleep,
+                    min_steps=2, max_steps=4, max_transport_retries=2)
+                walker.run(sequences=8)
+                stats.append(walker.stats)
+
+            for i in range(3):
+                thread = threading.Thread(target=one, args=(i,), daemon=True)
+                thread.start()
+                threads.append(thread)
+
+            time.sleep(0.3)
+            victim = primary if victim_role == "primary" else replica
+            proc = procs[victim.port]
+            proc.kill()  # SIGKILL mid-crawl: no goodbye, no FIN
+            proc.wait(timeout=10)
+
+            wait_until(lambda: home.engine.log.count("peer_dead") >= 1,
+                       10.0, "home never declared the killed holder dead")
+            # Autonomous repair: the group is restored to two live
+            # holders — neither of them the victim — without the
+            # document ever being revoked back home.
+            wait_until(
+                lambda: victim not in
+                home.engine.graph.get("/d.html").locations()
+                and len(home.engine.graph.get("/d.html").locations()) == 2,
+                10.0, "group never repaired back to k=2 live holders")
+            for thread in threads:
+                thread.join(timeout=30)
+
+            with home._lock:
+                assert home.engine.stats.replica_drops >= 1
+                assert home.engine.stats.repairs >= 2  # top-up + repair
+                # The zero-302-storm gate: holder death never caused a
+                # revocation — the survivor kept the group serving.
+                assert home.engine.stats.revocations == 0, f"seed={SEED}"
+                # /d.html stayed out (never revoked home); the engine may
+                # have migrated other hot documents under the crawl load.
+                assert "/d.html" in home.engine.policy.migrated_names()
+
+            # Zero 404s across the whole storm: no request ever saw a
+            # missing document, crash or no crash.
+            with statuses_lock:
+                assert statuses, "walkers never completed a fetch"
+                assert 404 not in statuses, f"saw a 404 (seed={SEED})"
+
+            # Converged: everything serves, nothing points at the victim.
+            for __ in range(3):
+                for name in SITE:
+                    outcome = fetch_url(
+                        URL("127.0.0.1", home_port, name), timeout=2.0)
+                    assert outcome.status == 200, \
+                        f"{name} -> {outcome.status} (seed={SEED})"
+        finally:
+            for proc in procs.values():
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait(timeout=10)
+            home.stop()
+            reset_replica_failures()
 
 
 class TestWorkerCrash:
