@@ -169,6 +169,23 @@ class CircuitBreaker:
                 state = self._peers[peer] = _PeerState()
             self._trip_locked(state, now)
 
+    def allow_probe(self, peer: str, now: Optional[float] = None) -> None:
+        """Collapse an open circuit's remaining backoff so the very next
+        fetch toward *peer* is admitted as the half-open trial probe.
+
+        The rediscovery daemon paces its own (exponentially backed-off)
+        re-probe schedule for dead peers; when a probe is due it must
+        actually reach the wire rather than fast-fail against a breaker
+        whose independent backoff has not elapsed.  The probe then heals
+        or re-opens the circuit through the normal half-open machinery.
+        """
+        if now is None:
+            now = self.clock()
+        with self._lock:
+            state = self._peers.get(peer)
+            if state is not None and state.state == OPEN:
+                state.retry_at = min(state.retry_at, now)
+
     def _trip_locked(self, state: _PeerState, now: float) -> None:
         if state.state != OPEN:
             state.trips += 1

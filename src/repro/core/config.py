@@ -71,6 +71,35 @@ class ServerConfig:
     # Consecutive failed pings before a co-op is declared dead and its
     # documents are revoked.
     ping_failure_limit: int = 3
+    # --- adaptive membership (repro.core.membership) ---------------------
+    # Accrual failure detection: the φ suspicion score grows with silence
+    # measured against the peer's learned success inter-arrival
+    # distribution.  φ >= suspect threshold degrades the peer to
+    # *suspect* (excluded from migration/repair targets, documents
+    # kept); a suspect peer at φ >= dead threshold is declared dead —
+    # the timing-based complement to ``ping_failure_limit``'s explicit
+    # consecutive-failure bound.
+    membership_suspect_phi: float = 2.0
+    membership_dead_phi: float = 8.0
+    # Sliding window of inter-arrival samples per peer, the bootstrap
+    # sample count below which silence is never evidence, and the
+    # minimum modelled inter-arrival (additionally floored at the pinger
+    # interval — the cadence at which heartbeats are guaranteed).
+    membership_window: int = 32
+    membership_min_samples: int = 3
+    membership_floor: float = 0.1
+    # Rediscovery daemon: dead/forgotten peers from the static configured
+    # peer list are re-probed every ``reprobe_interval`` seconds, backed
+    # off by ``reprobe_backoff`` per failed probe up to
+    # ``reprobe_max_interval``, with deterministic per-(peer, attempt)
+    # jitter up to ``reprobe_jitter`` (a fraction of the period).
+    reprobe_interval: float = 5.0
+    reprobe_backoff: float = 2.0
+    reprobe_max_interval: float = 60.0
+    reprobe_jitter: float = 0.1
+    # A peer dead this long demotes to *forgotten* (still re-probed, at
+    # the capped rate).
+    membership_forget_after: float = 300.0
 
     # --- extensions beyond the prototype --------------------------------
     # Paper future work (section 6): replicate hot documents to several
@@ -256,6 +285,27 @@ class ServerConfig:
         if self.replication_repair_interval < 0:
             raise ConfigError(
                 "replication_repair_interval must be non-negative")
+        if not (0.0 < self.membership_suspect_phi
+                < self.membership_dead_phi):
+            raise ConfigError(
+                "need 0 < membership_suspect_phi < membership_dead_phi")
+        if self.membership_window < 2:
+            raise ConfigError("membership_window must be >= 2")
+        if self.membership_min_samples < 2:
+            raise ConfigError("membership_min_samples must be >= 2")
+        if self.membership_floor <= 0:
+            raise ConfigError("membership_floor must be positive")
+        if self.reprobe_interval <= 0:
+            raise ConfigError("reprobe_interval must be positive")
+        if self.reprobe_backoff < 1.0:
+            raise ConfigError("reprobe_backoff must be >= 1.0")
+        if self.reprobe_max_interval < self.reprobe_interval:
+            raise ConfigError(
+                "reprobe_max_interval must be >= reprobe_interval")
+        if self.reprobe_jitter < 0:
+            raise ConfigError("reprobe_jitter must be non-negative")
+        if self.membership_forget_after <= 0:
+            raise ConfigError("membership_forget_after must be positive")
 
     def scaled(self, time_factor: float) -> "ServerConfig":
         """Return a copy with every time interval multiplied by
@@ -272,6 +322,11 @@ class ServerConfig:
             coop_migration_spacing=self.coop_migration_spacing * time_factor,
             replication_repair_interval=(
                 self.replication_repair_interval * time_factor),
+            membership_floor=self.membership_floor * time_factor,
+            reprobe_interval=self.reprobe_interval * time_factor,
+            reprobe_max_interval=self.reprobe_max_interval * time_factor,
+            membership_forget_after=(
+                self.membership_forget_after * time_factor),
         )
 
     def as_table(self) -> Dict[str, Any]:

@@ -83,18 +83,34 @@ class PeerHealth:
     hardening) from data-path transfers — a pull or validation that hits
     a dead peer counts just like a failed probe, so detection no longer
     waits out the full staleness window.
+
+    Successes measured by the host (pings and pooled data-path
+    exchanges) also feed a per-peer round-trip-time EWMA, surfaced on
+    ``/~dcws/peers`` and available to delay-aware targeting.
     """
+
+    #: EWMA weight of each new RTT sample.
+    RTT_ALPHA = 0.2
 
     def __init__(self, failure_limit: int) -> None:
         self.failure_limit = failure_limit
         self._failures: Dict[str, int] = {}
         self._last_success: Dict[str, float] = {}
+        self._rtt: Dict[str, float] = {}
 
     def record_success(self, peer: str,
-                       now: Optional[float] = None) -> None:
+                       now: Optional[float] = None,
+                       rtt: Optional[float] = None) -> None:
         self._failures.pop(peer, None)
         if now is not None:
             self._last_success[peer] = now
+        if rtt is not None and rtt >= 0.0:
+            previous = self._rtt.get(peer)
+            if previous is None:
+                self._rtt[peer] = rtt
+            else:
+                self._rtt[peer] = (1.0 - self.RTT_ALPHA) * previous \
+                    + self.RTT_ALPHA * rtt
 
     def record_failure(self, peer: str) -> int:
         """Count a failure; returns the consecutive count."""
@@ -108,6 +124,13 @@ class PeerHealth:
     def last_success(self, peer: str) -> Optional[float]:
         """When *peer* last succeeded, if a timestamp was recorded."""
         return self._last_success.get(peer)
+
+    def rtt(self, peer: str) -> Optional[float]:
+        """Smoothed round-trip time toward *peer*, if ever measured."""
+        return self._rtt.get(peer)
+
+    def rtts(self) -> Dict[str, float]:
+        return dict(self._rtt)
 
     def is_dead(self, peer: str) -> bool:
         return self._failures.get(peer, 0) >= self.failure_limit
@@ -123,12 +146,15 @@ class PeerHealth:
     def forget(self, peer: str) -> None:
         self._failures.pop(peer, None)
         self._last_success.pop(peer, None)
+        self._rtt.pop(peer, None)
 
     def reset(self, peers: Iterable[str] = ()) -> None:
         if not peers:
             self._failures.clear()
             self._last_success.clear()
+            self._rtt.clear()
             return
         for peer in peers:
             self._failures.pop(peer, None)
             self._last_success.pop(peer, None)
+            self._rtt.pop(peer, None)

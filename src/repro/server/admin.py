@@ -14,6 +14,9 @@ A DCWS server answers four plain-text administrative endpoints:
   hierarchy (link templates, byte cache, response cache);
 - ``/~dcws/durability`` — write-ahead journal position, checkpoint
   freshness, and the stats of the last crash recovery;
+- ``/~dcws/membership`` — the adaptive membership table: per-peer
+  alive/suspect/dead/forgotten state, φ suspicion, RTT estimates, and
+  the rediscovery (re-probe) schedule;
 - ``/~dcws/health`` — liveness + readiness probe.  Unlike the other
   endpoints this one is answered by the engine *before* any accounting
   (no request counter, no CPS/BPS metrics, no entry gate), so load
@@ -114,7 +117,8 @@ def render_peers(engine) -> str:
     breaker = getattr(engine, "breaker", None)
     snapshot = breaker.snapshot() if breaker is not None else {}
     header = (f"{'Peer':<24} {'Breaker':>10} {'Trips':>6} {'Fails':>6} "
-              f"{'LastSuccess':>14} {'RetryIn':>9} {'RowAge':>10}")
+              f"{'LastSuccess':>14} {'RetryIn':>9} {'RowAge':>10} "
+              f"{'RTT':>9}")
     lines = [header, "-" * len(header)]
     peers = {str(p) for p in engine.glt.peers()} | set(snapshot)
     for key in sorted(peers):
@@ -139,8 +143,11 @@ def render_peers(engine) -> str:
             age_text = "no-row"
         else:
             age_text = f"{max(0.0, now - row.timestamp):.1f}s"
+        rtt = engine.health.rtt(key)
+        rtt_text = "-" if rtt is None else f"{rtt * 1000.0:.1f}ms"
         lines.append(f"{key:<24} {breaker_state:>10} {trips:>6} {fails:>6} "
-                     f"{last_text:>14} {retry_text:>9} {age_text:>10}")
+                     f"{last_text:>14} {retry_text:>9} {age_text:>10} "
+                     f"{rtt_text:>9}")
     total = breaker.total_trips() if breaker is not None else 0
     lines.append("")
     lines.append(f"breaker trips (lifetime) {total}")
@@ -323,6 +330,60 @@ def render_replication(engine) -> str:
     return "\n".join(lines) + "\n"
 
 
+def render_membership(engine) -> str:
+    """The membership table (``/~dcws/membership``).
+
+    Per-peer state, current φ suspicion, consecutive explicit failures,
+    RTT estimate, and — for dead peers — the rediscovery schedule; plus
+    the lifetime membership counters the chaos gates assert on.
+    """
+    table = getattr(engine, "membership", None)
+    if table is None:
+        return "membership: not configured\n"
+    now = getattr(engine, "_admin_now", 0.0)
+    counters = table.counters
+    lines: List[str] = [
+        f"suspect phi             {table.suspect_phi:g}",
+        f"dead phi                {table.dead_phi:g}",
+        f"failure limit           {table.failure_limit}",
+        f"re-probe interval       {table.reprobe_interval:g}s "
+        f"(x{table.reprobe_backoff:g} to {table.reprobe_max_interval:g}s)",
+        f"suspicions              {counters.suspicions}",
+        f"deaths declared         {counters.deaths}",
+        f"rediscoveries           {counters.rediscoveries}",
+        f"re-probes sent          {counters.probes_sent}",
+        f"re-probe backlog        {table.reprobe_backlog()}",
+        f"reconcile drops         {counters.reconcile_drops}",
+        f"reconcile re-registers  {counters.reconcile_reregistrations}",
+        "",
+    ]
+    header = (f"{'Peer':<24} {'State':>10} {'Phi':>7} {'Fails':>6} "
+              f"{'RTT':>9} {'Since':>9} {'NextProbe':>10}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    states = table.states()
+    for key in sorted(states):
+        info = table.describe(key)
+        phi = table.phi(key, now)
+        rtt = engine.health.rtt(key)
+        rtt_text = "-" if rtt is None else f"{rtt * 1000.0:.1f}ms"
+        since = float(info.get("since", 0.0) or 0.0)
+        # since == 0.0 is the registration default, not a transition
+        # timestamp — against a monotonic clock it would render as hours.
+        since_text = "-" if since == 0.0 else f"{max(0.0, now - since):.1f}s"
+        if states[key] in ("dead", "forgotten") and info.get("configured"):
+            next_at = float(info.get("next_probe_at", 0.0) or 0.0)
+            probe_text = f"{max(0.0, next_at - now):.1f}s"
+        else:
+            probe_text = "-"
+        lines.append(f"{key:<24} {states[key]:>10} {phi:>7.2f} "
+                     f"{int(info.get('failures', 0) or 0):>6} "
+                     f"{rtt_text:>9} {since_text:>9} {probe_text:>10}")
+    if not states:
+        lines.append("(no known peers)")
+    return "\n".join(lines) + "\n"
+
+
 #: endpoint path (under /~dcws/) -> renderer
 ENDPOINTS = {
     "status": render_status,
@@ -333,6 +394,7 @@ ENDPOINTS = {
     "caches": render_caches,
     "durability": render_durability,
     "replication": render_replication,
+    "membership": render_membership,
     "workers": render_workers,
     "health": render_health,
 }

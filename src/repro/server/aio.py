@@ -707,14 +707,17 @@ class AsyncDCWSServer(BlockingDirectiveMixin, DurabilityMixin):
 
     def _run_action(self, action: OutboundAction) -> None:
         """One periodic server-to-server transfer (executor thread)."""
+        started = time.monotonic()
         try:
             response = http_fetch(action.peer, action.request,
                                   timeout=self.request_timeout,
                                   pool=self.pool)
         except (OSError, HTTPError):
             response = None
+        finished = time.monotonic()
+        rtt = finished - started if response is not None else None
         with self._lock:
-            self.engine.complete_action(action, response, time.monotonic())
+            self.engine.complete_action(action, response, finished, rtt=rtt)
 
     def _locked_checkpoint(self) -> None:
         """Periodic checkpoint (executor thread, off the loop)."""

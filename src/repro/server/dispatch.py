@@ -84,6 +84,7 @@ class BlockingDirectiveMixin:
         transport failure (degrade to 302 back to home)."""
         upstream = None
         home_down = False
+        started = time.monotonic()
         try:
             upstream = http_fetch(pull.home, pull.request,
                                   timeout=self.request_timeout,
@@ -92,10 +93,11 @@ class BlockingDirectiveMixin:
             home_down = True
         except (OSError, HTTPError):
             pass
+        finished = time.monotonic()
+        rtt = finished - started if upstream is not None else None
         with self._lock:
-            reply = self.engine.complete_pull(pull, upstream,
-                                              time.monotonic(),
-                                              home_down=home_down)
+            reply = self.engine.complete_pull(pull, upstream, finished,
+                                              home_down=home_down, rtt=rtt)
         return reply.response
 
 

@@ -45,6 +45,13 @@ from repro.core.document import DocumentRecord, Location
 from repro.core.glt import GlobalLoadTable
 from repro.core.ldg import LocalDocumentGraph
 from repro.core.metrics import ServerMetrics
+from repro.core.membership import (
+    ALIVE,
+    DEAD,
+    FORGOTTEN,
+    MembershipTable,
+    SUSPECT,
+)
 from repro.core.migration import MigrationDecision, MigrationPolicy
 from repro.core.naming import (
     REPLICAS_HEADER,
@@ -108,6 +115,14 @@ PURPOSE_HEADER = "X-DCWS-Purpose"
 # validation; the home credits them to the document's LDG tuple, so
 # selection/re-migration/replication see demand that lands on co-ops.
 HOSTED_HITS_HEADER = "X-DCWS-Hosted-Hits"
+# Rejoin reconciliation: a server answering a ping/probe from a peer
+# attaches the (original path, version) manifest of every document it
+# still hosts *for that peer*, so a home rediscovering a falsely-dead
+# co-op can compare the returning hosted set against its current
+# LDG/replication-group state without an extra round trip.
+HOSTED_MANIFEST_HEADER = "X-DCWS-Hosted-Manifest"
+# Manifest size cap: a pathological co-op cannot bloat probe responses.
+HOSTED_MANIFEST_LIMIT = 128
 
 
 @dataclass
@@ -322,15 +337,27 @@ class DCWSEngine:
         self.metrics = ServerMetrics(config.stats_interval)
         self.validation = DueTracker(config.validation_interval)
         self.health = PeerHealth(config.ping_failure_limit)
+        # Adaptive membership: the alive -> suspect -> dead -> forgotten
+        # state machine driven by the accrual failure detector, plus the
+        # rediscovery re-probe schedule for falsely-dead configured
+        # peers.  Every success/failure observation below feeds it via
+        # _peer_success/_peer_failure; all DEAD declarations it
+        # recommends flow through the single journaled _declare_dead.
+        self.membership = MembershipTable.from_config(config)
         # Replication groups with autonomous repair (replication_k >= 2):
         # the manager owns group bookkeeping and the repair loop; its
         # decisions surface through the policy callback above, so they
         # are journaled and seqlock-stamped like every other relocation.
+        # ``alive`` (suspects count as live) governs holder retention
+        # and serving; ``targetable`` (strictly alive) governs where new
+        # replicas may be placed — a suspect peer keeps its documents
+        # but receives no new ones.
         self.replication: Optional[ReplicationManager] = None
         if config.replication_k > 1:
             self.replication = ReplicationManager(
                 config, self.graph, self.glt, self.policy,
-                alive=self._peer_available,
+                alive=self._peer_live,
+                targetable=self._peer_available,
                 log=lambda msg: self.log.record(self._clock, "replication",
                                                 detail=msg))
         # Set by hosts that own a pooled transport: per-peer circuit
@@ -360,8 +387,17 @@ class DCWSEngine:
         self._last_stats_at: Optional[float] = None
         self._last_ping_at: Optional[float] = None
         self._initialized = False
-        for peer in peers:
+        # The static configured peer list is retained (the GLT alone
+        # forgets dead peers): it is the rediscovery daemon's probe
+        # roster and the string -> Location map for journal replay.
+        self._configured_peers: List[Location] = list(peers)
+        # Peers that rejoined via a path with no manifest in hand
+        # (incoming gossip): settle their surviving copies against the
+        # next manifest-bearing ping/probe response instead.
+        self._reconcile_pending: set = set()
+        for peer in self._configured_peers:
             self.glt.register(peer)
+            self.membership.register(str(peer), configured=True)
 
     # ------------------------------------------------------------------
     # Durability: write-ahead journal hooks
@@ -1033,7 +1069,8 @@ class DCWSEngine:
                             request=pull_request, client_request=request)
 
     def complete_pull(self, pull: PullFromHome, response: Optional[Response],
-                      now: float, *, home_down: bool = False) -> EngineReply:
+                      now: float, *, home_down: bool = False,
+                      rtt: Optional[float] = None) -> EngineReply:
         """Finish a lazy-migration pull: cache the bytes and serve them.
 
         ``response=None`` means the transfer failed; the reply degrades
@@ -1083,7 +1120,7 @@ class DCWSEngine:
                                                "pull from home failed"),
                                 now, doc_name=pull.key)
         self._absorb_piggyback(response.headers)
-        self.health.record_success(str(pull.home), now)
+        self._peer_success(str(pull.home), now, rtt=rtt)
         content_type = response.headers.get("Content-Type") \
             or hosted.content_type
         # Journal before the byte write: a crash in between recovers the
@@ -1137,9 +1174,9 @@ class DCWSEngine:
             # A real transport failure we just observed (a breaker-open
             # fast-fail never reached the wire, so it is not evidence):
             # count it toward dead-peer declaration like a failed ping.
-            failures = self.health.record_failure(home_key)
-            if failures >= self.config.ping_failure_limit:
-                self._declare_dead(pull.home, now)
+            # The membership table keeps this path and the ping path in
+            # complete_action from double-declaring within one tick.
+            self._peer_failure(pull.home, now)
         if home_down or response is not None:
             reply = error_response(StatusCode.SERVICE_UNAVAILABLE,
                                    "document temporarily unavailable")
@@ -1322,6 +1359,7 @@ class DCWSEngine:
                 now - self._last_ping_at >= self.config.pinger_interval:
             actions.extend(self._pings_due(now))
             self._last_ping_at = now
+        actions.extend(self._membership_due(now))
         return actions
 
     def _repair_round(self, now: float) -> None:
@@ -1410,28 +1448,81 @@ class DCWSEngine:
             self.stats.pings += 1
         return actions
 
+    def _membership_due(self, now: float) -> List[OutboundAction]:
+        """Membership upkeep off the engine tick.
+
+        Applies the accrual sweep (silence-driven ``alive -> suspect``,
+        ``suspect -> dead`` through the single declared-dead site,
+        ``dead -> forgotten`` ageing) and emits rediscovery probes for
+        configured dead/forgotten peers whose jittered exponential
+        re-probe period has elapsed.  Each probe first collapses the
+        tripped breaker's backoff (:meth:`CircuitBreaker.allow_probe`)
+        so it reaches the wire as the half-open trial rather than
+        fast-failing locally.
+        """
+        transitions, deaths = self.membership.sweep(now)
+        for peer_key, _old, new in transitions:
+            self._journal("membership", peer=peer_key, state=new)
+            self.log.record(now, "peer_" + new, peer=peer_key)
+        for peer_key in deaths:
+            location = self._location_of(peer_key)
+            if location is not None:
+                self._declare_dead(location, now)
+        actions: List[OutboundAction] = []
+        for peer_key in self.membership.due_probes(now):
+            location = self._location_of(peer_key)
+            if location is None:
+                continue
+            if self.breaker is not None:
+                self.breaker.allow_probe(peer_key, now)
+            request = Request(method="HEAD", target="/")
+            self._attach_piggyback(request.headers)
+            request.headers.set(PURPOSE_HEADER, "probe")
+            actions.append(OutboundAction(kind="probe", peer=location,
+                                          request=request))
+            self.membership.probe_sent(peer_key, now)
+            self.log.record(now, "reprobe", peer=peer_key)
+        return actions
+
     def complete_action(self, action: OutboundAction,
-                        response: Optional[Response], now: float) -> None:
+                        response: Optional[Response], now: float, *,
+                        rtt: Optional[float] = None) -> None:
         """Report the outcome of a :class:`OutboundAction`.
 
-        ``response=None`` means the peer did not answer; enough consecutive
-        ping failures declare it dead, and if we are the home of documents
-        it hosted, they are revoked (section 4.5, case 3).
+        ``response=None`` means the peer did not answer; enough
+        consecutive failures (or accrued suspicion) declare it dead, and
+        if we are the home of documents it hosted, they are revoked
+        (section 4.5, case 3).  ``rtt`` is the host-measured round trip
+        of a successful exchange, feeding the per-peer EWMA.
         """
         self._clock = now
         peer_key = str(action.peer)
         if response is None:
-            failures = self.health.record_failure(peer_key)
+            if action.kind == "probe":
+                # A rediscovery probe missed: the peer is already dead,
+                # so this is not new evidence — just reopen the probe
+                # slot (the backoff was advanced at send time).
+                self.membership.probe_failed(peer_key, now)
+                self.log.record(now, "reprobe_failed", peer=peer_key)
+                return
             if action.kind == "validate" and action.key in self.hosted:
                 # Transient validation failure: the stale copy keeps
                 # serving until a later validation reaches the home.
                 self.log.record(now, "validate_stale", key=action.key,
                                 peer=peer_key)
-            if failures >= self.config.ping_failure_limit:
-                self._declare_dead(action.peer, now)
+            self._peer_failure(action.peer, now)
             return
-        self.health.record_success(peer_key, now)
+        self._peer_success(peer_key, now, rtt=rtt)
         self._absorb_piggyback(response.headers)
+        has_manifest = bool(response.headers.get(HOSTED_MANIFEST_HEADER, ""))
+        if action.kind == "probe" or (has_manifest
+                                      and peer_key in self._reconcile_pending):
+            # Probes always reconcile.  A peer that rejoined through
+            # gossip (its own probe reached us first) never gets a probe
+            # from our side, so the next manifest-bearing ping response
+            # settles its surviving copies instead.
+            self._reconcile_pending.discard(peer_key)
+            self._reconcile_manifest(action.peer, response.headers, now)
         if action.kind == "validate" and action.key:
             self._finish_validation(action, response, now)
 
@@ -1476,16 +1567,99 @@ class DCWSEngine:
                             status=int(response.status))
 
     def _peer_available(self, peer: Location) -> bool:
-        """Availability predicate for migration-target selection: a peer
-        suspected dead or behind an open circuit never receives new
-        migrations, re-migrations, or replicas."""
+        """Target-selection predicate: only strictly-ALIVE peers behind a
+        closed circuit receive new migrations, re-migrations, or
+        replicas.  A *suspect* peer — slow, or under early suspicion —
+        is excluded here while :meth:`_peer_live` keeps its documents."""
         key = str(peer)
-        if self.health.is_dead(key):
+        if self.membership.state(key) != ALIVE:
             return False
         return self.breaker is None or not self.breaker.is_open(key)
 
+    def _peer_live(self, peer: Location) -> bool:
+        """Holder-retention/serving predicate: anything not declared
+        dead.  Suspect peers keep their hosted documents and keep
+        serving — suspicion throttles *placement*, not custody."""
+        key = str(peer)
+        if self.membership.is_dead(key):
+            return False
+        return self.breaker is None or not self.breaker.is_open(key)
+
+    def _location_of(self, key: str) -> Optional[Location]:
+        """Resolve a peer key back to a Location (configured list first,
+        parse fallback for gossip-discovered peers)."""
+        for peer in self._configured_peers:
+            if str(peer) == key:
+                return peer
+        try:
+            return Location.parse(key)
+        except (ValueError, NamingError):
+            return None
+
+    def _peer_success(self, peer_key: str, now: float,
+                      rtt: Optional[float] = None) -> None:
+        """One success observed from *peer_key* (ping, pull, validation,
+        probe, or piggybacked gossip): feed health/RTT and the accrual
+        detector; apply and journal any membership recovery."""
+        self.health.record_success(peer_key, now, rtt=rtt)
+        transition = self.membership.heartbeat(peer_key, now)
+        if transition is None:
+            return
+        old, _new = transition
+        self._journal("membership", peer=peer_key, state=ALIVE)
+        if old in (DEAD, FORGOTTEN):
+            self._peer_rejoined(peer_key, now)
+        else:
+            self.log.record(now, "peer_recovered", peer=peer_key)
+
+    def _peer_failure(self, peer: Location, now: float) -> None:
+        """One explicit transport failure toward *peer*: the membership
+        table escalates alive -> suspect immediately and recommends DEAD
+        once the consecutive-failure bound is hit; the declaration
+        itself runs through the single :meth:`_declare_dead` site."""
+        key = str(peer)
+        self.health.record_failure(key)
+        verdict = self.membership.failure(key, now)
+        if verdict == SUSPECT:
+            self._journal("membership", peer=key, state=SUSPECT)
+            self.log.record(now, "peer_suspect", peer=key)
+        elif verdict == DEAD:
+            self._declare_dead(peer, now)
+
+    def _peer_rejoined(self, peer_key: str, now: float) -> None:
+        """A dead/forgotten peer answered again: false death healed.
+
+        Re-registers it in the GLT (so the pinger resumes), logs the
+        rediscovery, and runs the co-op-side half of reconciliation:
+        every document *we* host for the rejoined home is forced due for
+        validation right now, so copies the home re-homed or updated
+        during the split are refreshed or dropped at the next tick
+        instead of lingering a full T_val."""
+        self.log.record(now, "peer_rejoined", peer=peer_key)
+        self._reconcile_pending.add(peer_key)
+        location = self._location_of(peer_key)
+        if location is not None and self.glt.get(location) is None:
+            self.glt.register(location)
+        overdue = now - self.config.validation_interval
+        for hosted in self.hosted.values():
+            if str(hosted.home) == peer_key and hosted.fetched:
+                self.validation.mark(hosted.key, overdue)
+
     def _declare_dead(self, peer: Location, now: float) -> None:
-        self.log.record(now, "peer_dead", peer=str(peer))
+        """The single peer-death site, idempotent by construction.
+
+        Both observation paths — failed pings/validations in
+        :meth:`complete_action` and failed data-path pulls in
+        :meth:`_degrade_pull` — can reach the failure bound for the same
+        peer within one tick; :meth:`MembershipTable.mark_dead` applies
+        the transition exactly once, so the journal record, the
+        revocation sweep, and the repair trigger never run twice.
+        """
+        key = str(peer)
+        if not self.membership.mark_dead(key, now):
+            return
+        self._journal("membership", peer=key, state=DEAD)
+        self.log.record(now, "peer_dead", peer=key)
         # Revoking every document hosted on the dead peer mutates
         # records across arbitrary shards; bracket the sweep.  Documents
         # with surviving replica holders are *dropped* from the dead
@@ -1500,12 +1674,12 @@ class DCWSEngine:
             else:
                 self.stats.revocations += 1
         self.glt.remove(peer)
-        self.health.forget(str(peer))
+        self.health.forget(key)
         if self.breaker is not None:
             # Force the circuit open: traffic toward the dead peer
             # fast-fails instead of burning timeouts, and a revived peer
             # heals through the normal half-open probe.
-            self.breaker.trip(str(peer))
+            self.breaker.trip(key)
         if self.replication is not None:
             # Autonomous repair, immediately: re-replicate the degraded
             # groups instead of waiting for the next scheduled round.
@@ -1584,6 +1758,70 @@ class DCWSEngine:
     def _attach_piggyback(self, headers: Headers) -> None:
         attach_load_reports(headers, str(self.location), self.glt.snapshot())
 
+    def _hosted_manifest_for(self, home_key: str) -> str:
+        """The ``original@version`` manifest of fetched documents we host
+        for *home_key*, attached to ping/probe responses so a home
+        rediscovering us reconciles our surviving copies in-band."""
+        entries = []
+        for key in sorted(self.hosted):
+            hosted = self.hosted[key]
+            if not hosted.fetched or str(hosted.home) != home_key:
+                continue
+            entries.append(f"{hosted.original}@{hosted.version or '0'}")
+            if len(entries) >= HOSTED_MANIFEST_LIMIT:
+                break
+        return ",".join(entries)
+
+    def _reconcile_manifest(self, peer: Location, headers: Headers,
+                            now: float) -> None:
+        """Home-side rejoin reconciliation.
+
+        The rediscovered peer's probe response listed the documents it
+        still holds for us, by (original path, version).  Compare each
+        against the current LDG/replication-group state: a copy of a
+        document we re-homed, revoked, or re-versioned during the split
+        *loses* (counted here; the peer's own forced revalidation drops
+        it), while a version-current copy of a still-under-target group
+        *wins* — it is re-registered as a replica, which cancels the
+        pending repair and returns the group to healthy without moving
+        a byte.
+        """
+        raw = headers.get(HOSTED_MANIFEST_HEADER, "")
+        if not raw:
+            return
+        key = str(peer)
+        drops = 0
+        reregistered = 0
+        for token in raw.split(","):
+            name, separator, version = token.rpartition("@")
+            if not separator or not name:
+                continue
+            record = self.graph.find(normalize_path(name))
+            if record is None or record.location == self.location:
+                drops += 1          # deleted or revoked home: stale copy
+                continue
+            if peer in record.locations():
+                continue            # already a holder, nothing to settle
+            if str(record.version) != version:
+                drops += 1          # outdated copy loses
+                continue
+            group = (self.replication.groups.get(record.name)
+                     if self.replication is not None else None)
+            if group is None or \
+                    len(self.replication.live_holders(record.name)) \
+                    >= group.target:
+                drops += 1          # group already whole (or unmanaged)
+                continue
+            decision = self.policy.repair_replica(record.name, peer, now)
+            self._count_repair_decisions([decision], now)
+            reregistered += 1
+        counters = self.membership.counters
+        counters.reconcile_drops += drops
+        counters.reconcile_reregistrations += reregistered
+        if drops or reregistered:
+            self.log.record(now, "reconcile", peer=key, drops=drops,
+                            reregistered=reregistered)
+
     def _absorb_piggyback(self, headers: Headers) -> None:
         sender = extract_sender(headers)
         if not sender:
@@ -1592,15 +1830,25 @@ class DCWSEngine:
             self.glt.merge(extract_load_reports(headers))
         except Exception:
             return  # malformed gossip from a peer never breaks serving
-        self.health.record_success(sender)
+        # Gossip is a heartbeat too: a request *from* a suspect (or
+        # falsely-dead) peer is proof of life, stamped at engine time.
+        self._peer_success(sender, self._clock)
 
     def _finish(self, request: Request, response: Response, now: float, *,
                 doc_name: str = "", reconstructed: bool = False,
                 spliced: bool = False) -> EngineReply:
         """Common bookkeeping for every response leaving this server."""
-        if extract_sender(request.headers):
+        sender = extract_sender(request.headers)
+        if sender:
             # Peer transfer: piggyback our current table on the response.
             self._attach_piggyback(response.headers)
+            if request.headers.get(PURPOSE_HEADER, "") in ("ping", "probe"):
+                # Pings and rediscovery probes additionally carry back
+                # the hosted manifest for the asking home, the in-band
+                # half of rejoin reconciliation.
+                manifest = self._hosted_manifest_for(sender)
+                if manifest:
+                    response.headers.set(HOSTED_MANIFEST_HEADER, manifest)
         # Explicit framing and connection semantics so keep-alive peers and
         # pooled channels can delimit the body without waiting for EOF.
         # (HEAD/304 Content-Length refers to the omitted body, per RFC.)

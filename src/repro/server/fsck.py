@@ -29,7 +29,11 @@ Checked invariants:
     a server the GLT still knows, every replicated hosted entry has
     bytes present or is registered unfetched, and (when the replication
     manager is active) every group tracks a currently migrated
-    document.
+    document;
+8.  membership agreement: no peer the membership table considers dead
+    (or forgotten) still holds any document — a dead holder lingering
+    in a serving set means repair forgot to drop it, which is exactly
+    the "two primaries" hazard the rejoin reconciliation must prevent.
 
 Violations are strings (path + what is wrong), so test failures read as
 a diagnosis rather than a boolean.
@@ -122,6 +126,9 @@ def check_engine(engine: DCWSEngine, *,
 
     # 7. replica invariants
     violations.extend(_check_replicas(engine))
+
+    # 8. membership agreement: dead peers hold nothing
+    violations.extend(_check_membership(engine))
 
     # 5. clean documents carry no stale migrated-form links
     if check_links:
@@ -223,6 +230,33 @@ def _check_replicas(engine: DCWSEngine) -> List[str]:
                 violations.append(
                     f"replication group for {name} has target "
                     f"{group.target}")
+    return violations
+
+
+def _check_membership(engine: DCWSEngine) -> List[str]:
+    """Invariant 8: no document is held by a peer the membership table
+    has declared dead or forgotten.
+
+    ``_declare_dead`` revokes every document from the dying peer in the
+    same bracket that journals the membership transition, and rejoin
+    reconciliation only re-admits a returning copy as a *replica*; if a
+    dead peer still appears among a document's locations, one of those
+    paths lost a race — and a healed partition would resurrect a second
+    primary."""
+    violations: List[str] = []
+    membership = getattr(engine, "membership", None)
+    if membership is None:
+        return violations
+    dead = {peer for peer, state in membership.states().items()
+            if state in ("dead", "forgotten")}
+    if not dead:
+        return violations
+    for record in engine.graph.documents():
+        for holder in sorted(record.locations(), key=str):
+            if str(holder) in dead:
+                violations.append(
+                    f"document {record.name} held by {holder}, which "
+                    f"membership declares {membership.state(str(holder))}")
     return violations
 
 

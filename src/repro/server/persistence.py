@@ -121,6 +121,8 @@ def snapshot_engine(engine: DCWSEngine, now: float, *,
         "replication": engine.replication.snapshot()
         if engine.replication is not None else [],
         "glt": glt,
+        # Non-alive membership rows only; absent peers restore as alive.
+        "membership": engine.membership.snapshot(),
     }
     data[_CHECKSUM_KEY] = _payload_checksum(data)
     return data
@@ -246,7 +248,34 @@ def restore_engine(engine: DCWSEngine, snapshot: Dict[str, Any],
                      for row in snapshot.get("glt", []))
     if engine.replication is not None:
         engine.replication.restore(snapshot.get("replication", []))
+    for row in snapshot.get("membership", []):
+        _install_membership(engine, str(row.get("peer", "")),
+                            str(row.get("state", "")), now)
     return restored
+
+
+def _install_membership(engine: DCWSEngine, peer: str, state: str,
+                        now: float) -> None:
+    """Install one membership state (snapshot restore / journal replay).
+
+    Idempotent like every other resulting-state record.  Dead and
+    forgotten peers are also removed from the GLT — the constructor
+    re-registers every configured peer, so without this a recovered
+    engine would ping a peer it had already declared dead — and alive
+    peers are re-registered so the pinger resumes after a replayed
+    rejoin.
+    """
+    if not peer or not state:
+        return
+    engine.membership.install(peer, state, now)
+    try:
+        location = Location.parse(peer)
+    except ValueError:
+        return
+    if state in ("dead", "forgotten"):
+        engine.glt.remove(location)
+    elif engine.glt.get(location) is None:
+        engine.glt.register(location)
 
 
 def restore_from_file(engine: DCWSEngine, path: str, now: float) -> int:
@@ -390,6 +419,13 @@ def apply_record(engine: DCWSEngine, record: JournalRecord) -> None:
         return
     if record.kind == "glt_row":
         engine.glt.update_own(float(fields.get("metric", 0.0)), record.time)
+        return
+    if record.kind == "membership":
+        # Membership transitions journal the *resulting* state, so any
+        # replay prefix lands on the same table: a peer declared dead,
+        # rediscovered, and re-declared replays to its final state.
+        _install_membership(engine, str(fields.get("peer", "")),
+                            str(fields.get("state", "")), record.time)
         return
     # Unknown kinds (a newer writer) are skipped: replay applies what it
     # understands and fsck judges the result.

@@ -94,12 +94,19 @@ class ReplicationManager:
     def __init__(self, config: ServerConfig, graph: LocalDocumentGraph,
                  glt: GlobalLoadTable, policy: MigrationPolicy, *,
                  alive: Optional[Callable[[Location], bool]] = None,
+                 targetable: Optional[Callable[[Location], bool]] = None,
                  log: Optional[Callable[[str], None]] = None) -> None:
         self.config = config
         self.graph = graph
         self.glt = glt
         self.policy = policy
         self._alive = alive or (lambda _loc: True)
+        # Placement is stricter than custody: ``alive`` (not declared
+        # dead) keeps holders serving, ``targetable`` (strictly alive in
+        # membership terms — not even *suspect*) gates where the repair
+        # loop may place new replicas.  Defaults to ``alive`` for hosts
+        # without an adaptive membership table.
+        self._targetable = targetable or self._alive
         self._log = log or (lambda _msg: None)
         self.groups: Dict[str, ReplicationGroup] = {}
         self.counters = ReplicationCounters()
@@ -214,7 +221,9 @@ class ReplicationManager:
                 if loc != self.graph.home and self._alive(loc)]
 
     def _unavailable_peers(self) -> List[Location]:
-        return [p for p in self.glt.peers() if not self._alive(p)]
+        """Peers excluded from repair *placement* — the stricter
+        targetable predicate, so suspects never receive new replicas."""
+        return [p for p in self.glt.peers() if not self._targetable(p)]
 
     def _classify(self, live: List[Location]) -> str:
         if len(live) >= self.config.replication_k:

@@ -64,6 +64,17 @@ class ClusterSample:
     replication_two_choices_picks: int = 0
     replication_two_choices_alternates: int = 0
     replication_copies: Dict[str, int] = field(default_factory=dict)
+    # Adaptive membership, summed across engines: peers currently held
+    # suspect, lifetime false-death rediscoveries (dead -> alive), the
+    # rediscovery backlog (configured peers awaiting a successful
+    # re-probe), and what rejoin reconciliation did with returning
+    # copies (stale ones dropped, viable ones re-registered as
+    # replicas).
+    membership_suspects: int = 0
+    membership_rediscoveries: int = 0
+    membership_reprobe_backlog: int = 0
+    reconciliation_drops: int = 0
+    reconciliation_reregistrations: int = 0
     # Multi-process front end: requests/second per worker process, keyed
     # by worker index ("0", "1", ...).  Empty in single-process runs.
     per_worker_rps: Dict[str, float] = field(default_factory=dict)
@@ -113,6 +124,11 @@ def sample_cluster(now: float, engines: Iterable[DCWSEngine], *,
     two_choices_picks = 0
     two_choices_alternates = 0
     replication_copies: Dict[str, int] = {}
+    membership_suspects = 0
+    membership_rediscoveries = 0
+    membership_backlog = 0
+    reconciliation_drops = 0
+    reconciliation_reregs = 0
     per_server: Dict[str, float] = {}
     for engine in engines:
         cps = engine.metrics.cps(now)
@@ -154,6 +170,14 @@ def sample_cluster(now: float, engines: Iterable[DCWSEngine], *,
                 key = str(live)
                 replication_copies[key] = \
                     replication_copies.get(key, 0) + count
+        membership = getattr(engine, "membership", None)
+        if membership is not None:
+            membership_suspects += len(membership.suspects())
+            membership_rediscoveries += membership.counters.rediscoveries
+            membership_backlog += membership.reprobe_backlog()
+            reconciliation_drops += membership.counters.reconcile_drops
+            reconciliation_reregs += \
+                membership.counters.reconcile_reregistrations
         per_server[str(engine.location)] = cps
     return ClusterSample(time=now, cps=total_cps, bps=total_bps,
                          drops_per_second=total_drops,
@@ -183,6 +207,11 @@ def sample_cluster(now: float, engines: Iterable[DCWSEngine], *,
                          replication_two_choices_alternates=(
                              two_choices_alternates),
                          replication_copies=replication_copies,
+                         membership_suspects=membership_suspects,
+                         membership_rediscoveries=membership_rediscoveries,
+                         membership_reprobe_backlog=membership_backlog,
+                         reconciliation_drops=reconciliation_drops,
+                         reconciliation_reregistrations=reconciliation_reregs,
                          per_worker_rps=dict(worker_rps or {}))
 
 

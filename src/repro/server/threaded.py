@@ -345,15 +345,18 @@ class ThreadedDCWSServer(BlockingDirectiveMixin, DurabilityMixin):
             for action in actions:
                 if self._stop.is_set():
                     return
+                started = time.monotonic()
                 try:
                     response = http_fetch(action.peer, action.request,
                                           timeout=self.request_timeout,
                                           pool=self.pool)
                 except (OSError, HTTPError):
                     response = None
+                finished = time.monotonic()
+                rtt = finished - started if response is not None else None
                 with self._lock:
-                    self.engine.complete_action(action, response,
-                                                time.monotonic())
+                    self.engine.complete_action(action, response, finished,
+                                                rtt=rtt)
             self._durability_tick(now)
             if self.snapshot_path and \
                     now - self._last_snapshot >= self.snapshot_interval:

@@ -193,3 +193,22 @@ class FaultyTransport:
         if event.kind == "blackhole":
             return self.request_timeout, 0.0
         return self.link_latency, 0.0
+
+    # ------------------------------------------------------------------
+    # Runtime partition control (membership/rediscovery chaos scenarios)
+    # ------------------------------------------------------------------
+
+    def partition(self, peer: str) -> None:
+        """Blackhole every subsequent transfer toward *peer*.
+
+        Note the plan is *this host's outbound* view: a bidirectional
+        partition (the shape that exercises false-death rediscovery,
+        since the victim must also stop gossiping back) needs
+        ``partition`` called on both sides' transports.
+        """
+        self.plan.block(peer)
+
+    def heal(self, peer: str) -> None:
+        """Lift the partition toward *peer*; the rediscovery daemon's
+        next re-probe then succeeds and triggers rejoin reconciliation."""
+        self.plan.unblock(peer)

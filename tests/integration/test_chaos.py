@@ -41,6 +41,7 @@ from repro.http.messages import Request
 from repro.http.urls import URL
 from repro.server.engine import DCWSEngine
 from repro.server.filestore import MemoryStore
+from repro.server.fsck import assert_clean
 from repro.server.threaded import ThreadedDCWSServer
 
 SEED = int(os.environ.get("REPRO_FAULT_SEED", "0"))
@@ -503,6 +504,170 @@ class TestReplicaHolderCrash:
                     proc.kill()
                     proc.wait(timeout=10)
             home.stop()
+            reset_replica_failures()
+
+
+class TestFalseDeathRediscovery:
+    """Scenario 6: a co-op is *partitioned* (not killed), declared dead,
+    and must be rediscovered after the partition heals.
+
+    The adaptive-membership gate: the home's accrual detector + failure
+    bound declare the partitioned holder dead and repair re-replicates
+    its documents elsewhere; the rediscovery daemon then re-probes the
+    dead peer at a jittered exponential backoff, so when the partition
+    lifts the peer is back (``peer_rejoined``) within two re-probe
+    periods — and its surviving stale copy is settled by rejoin
+    reconciliation (the group is already whole, so the returning copy
+    loses).  Throughout: zero 404s, no document with two primaries
+    (fsck), and every k=2 group back healthy.
+    """
+
+    def test_partition_heal_rediscovers_within_two_periods(self):
+        reset_replica_failures()
+        home_port = free_port()
+        coop_ports = [free_port() for __ in range(3)]
+        config = ServerConfig(stats_interval=0.3, pinger_interval=0.3,
+                              ping_failure_limit=2,
+                              validation_interval=60.0,
+                              breaker_reset_timeout=0.2,
+                              replication_k=2, max_replicas=2,
+                              reprobe_interval=0.3, reprobe_backoff=2.0,
+                              reprobe_max_interval=0.6, reprobe_jitter=0.0)
+        home_loc = Location("127.0.0.1", home_port)
+        coop_locs = [Location("127.0.0.1", p) for p in coop_ports]
+        home_plan = FaultPlan(seed=SEED)       # home's outbound view
+        victim_plan = FaultPlan(seed=SEED)     # the victim's outbound view
+        home_engine = DCWSEngine(home_loc, config, MemoryStore(SITE),
+                                 entry_points=["/index.html"],
+                                 peers=coop_locs)
+        home = ThreadedDCWSServer(home_engine, tick_period=0.1,
+                                  faults=home_plan)
+        coops = []
+        for index, loc in enumerate(coop_locs):
+            engine = DCWSEngine(loc, config, MemoryStore(),
+                                peers=[home_loc])
+            coops.append(ThreadedDCWSServer(
+                engine, tick_period=0.1,
+                faults=victim_plan if index == 0 else None))
+        victim = coop_locs[0]
+        victim_key = str(victim)
+        home_key = str(home_loc)
+        try:
+            for coop in coops:
+                coop.start()
+            home.start()
+            with home._lock:
+                home.engine.policy.force_migrate("/d.html", victim,
+                                                 time.monotonic())
+            wait_until(
+                lambda: len(home.engine.graph.get("/d.html").replicas) == 1,
+                10.0, "repair daemon never topped the group up to k=2")
+            key_d = f"/~migrate/127.0.0.1/{home_port}/d.html"
+            replica = next(iter(home.engine.graph.get("/d.html").replicas))
+            for holder in (victim, replica):
+                assert http_fetch(holder,
+                                  Request("GET", key_d)).status == 200
+
+            statuses = []
+            statuses_lock = threading.Lock()
+
+            def recording_fetch(url):
+                outcome = fetch_url(url, timeout=2.0)
+                with statuses_lock:
+                    statuses.append(outcome.status)
+                return outcome
+
+            threads = []
+
+            def one(seed: int) -> None:
+                walker = RandomWalker(
+                    [f"http://127.0.0.1:{home_port}/index.html"],
+                    recording_fetch, seed=SEED + seed, sleep=capped_sleep,
+                    min_steps=2, max_steps=4, max_transport_retries=2)
+                walker.run(sequences=25)
+
+            for i in range(3):
+                thread = threading.Thread(target=one, args=(i,), daemon=True)
+                thread.start()
+                threads.append(thread)
+            time.sleep(0.3)
+
+            # Bidirectional partition: each plan is its owner's *outbound*
+            # view, so the victim must also stop gossiping back (incoming
+            # piggyback counts as proof of life at the home).
+            home_plan.block(victim_key)
+            victim_plan.block(home_key)
+
+            wait_until(
+                lambda: home.engine.membership.is_dead(victim_key),
+                10.0, "home never declared the partitioned co-op dead")
+            # Repair re-homed the group onto the survivors: two live
+            # holders, neither of them the victim, nothing revoked home.
+            wait_until(
+                lambda: victim not in
+                home.engine.graph.get("/d.html").locations()
+                and len(home.engine.graph.get("/d.html").locations()) == 2,
+                10.0, "group never repaired away from the dead holder")
+
+            # Heal.  The gate: rediscovered within two re-probe periods —
+            # asserted as "at most two probes emitted after healing", the
+            # schedule-level formulation, which stays deterministic when
+            # a loaded CI box stretches wall-clock tick latency.
+            probes_before = home.engine.membership.counters.probes_sent
+            home_plan.unblock(victim_key)
+            victim_plan.unblock(home_key)
+            wait_until(
+                lambda: home.engine.membership.state(victim_key) == "alive",
+                10.0, "healed co-op was never rediscovered")
+            probes_after_heal = \
+                home.engine.membership.counters.probes_sent - probes_before
+            with home._lock:
+                assert home.engine.membership.counters.rediscoveries >= 1
+                assert home.engine.log.count("peer_rejoined") >= 1
+            # Rejoin reconciliation: the victim still held its stale copy
+            # of /d.html, but the group is already whole — the returning
+            # copy loses.  Either half of reconciliation may settle it
+            # first: the home reads the victim's manifest and records a
+            # reconcile drop, or the victim's own rejoin path forces the
+            # copy due for validation and drops it on the home's 302.
+            wait_until(
+                lambda: home.engine.membership.counters.reconcile_drops >= 1
+                or key_d not in coops[0].engine.hosted,
+                10.0, "rejoin reconciliation never settled the stale copy")
+
+            for thread in threads:
+                thread.join(timeout=30)
+
+            with home._lock:
+                # All k=2 groups back healthy, victim re-registered.
+                assert home.engine.replication.groups_below_target() == 0
+                assert home.engine.glt.get(victim) is not None
+                # The victim is not a holder: reconciliation dropped its
+                # copy rather than re-admitting a third primary-ish copy.
+                record = home.engine.graph.get("/d.html")
+                assert victim not in record.locations()
+                # No document with two primaries, no dead holder left in
+                # any serving set (fsck invariant 8).
+                assert_clean(home.engine)
+
+            # Zero 404s across partition, death, repair, and rejoin.
+            with statuses_lock:
+                assert statuses, "walkers never completed a fetch"
+                assert 404 not in statuses, f"saw a 404 (seed={SEED})"
+            for name in SITE:
+                outcome = fetch_url(
+                    URL("127.0.0.1", home_port, name), timeout=2.0)
+                assert outcome.status == 200, \
+                    f"{name} -> {outcome.status} (seed={SEED})"
+            # Within two re-probe periods of the heal: the probe that was
+            # already scheduled when the partition lifted, plus at most
+            # one more, brought the peer back.
+            assert probes_after_heal <= 2, \
+                f"{probes_after_heal} probes after heal (seed={SEED})"
+        finally:
+            home.stop()
+            for coop in coops:
+                coop.stop()
             reset_replica_failures()
 
 
