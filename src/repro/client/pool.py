@@ -33,7 +33,9 @@ import threading
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.document import Location
-from repro.errors import HTTPError
+from repro.errors import DigestMismatch, HTTPError
+from repro.faults import apply_corruption
+from repro.http.content import DIGEST_HEADER, body_digest, digest_matches
 from repro.http.messages import Request, Response, response_allows_keep_alive
 from repro.client.breaker import CircuitBreaker
 from repro.client.realclient import read_framed_response
@@ -96,6 +98,7 @@ class ConnectionPool:
         self.evictions = 0
         self.requests = 0
         self.breaker_fastfails = 0  # fetches short-circuited while open
+        self.digest_rejects = 0     # bodies failing X-DCWS-Digest checks
 
     # ------------------------------------------------------------------
     # The one public operation
@@ -135,9 +138,13 @@ class ConnectionPool:
             channel = self._open(peer, timeout)
         try:
             response, framed = self._exchange(channel, request, timeout)
-        except (OSError, HTTPError):
+        except (OSError, HTTPError) as exc:
             self._evict(channel)
-            if not reused or request.method not in _IDEMPOTENT_METHODS:
+            # A digest mismatch is retry-worthy even on a fresh channel:
+            # in-transit corruption is transient, and the request never
+            # mutated anything on the peer (GET/HEAD only, below).
+            if not (reused or isinstance(exc, DigestMismatch)) \
+                    or request.method not in _IDEMPOTENT_METHODS:
                 # Fresh-connection failure, or a method the peer may have
                 # executed before the channel died: never silently replay.
                 raise
@@ -160,15 +167,41 @@ class ConnectionPool:
 
     def _exchange(self, channel: _Channel, request: Request,
                   timeout: float) -> Tuple[Response, bool]:
+        corrupt = None
         if self.faults is not None:
-            self.faults.on_exchange(channel.peer_key)
+            corrupt = self.faults.on_exchange(channel.peer_key)
         channel.sock.settimeout(timeout)
         channel.sock.sendall(request.serialize())
         response, framed = read_framed_response(
             channel.sock, channel.buffer,
             head_request=request.method == "HEAD")
         channel.exchanges += 1
+        if corrupt is not None:
+            # Injected in-transit corruption (chaos suite): flip after
+            # the read so framing succeeds and only verification can
+            # tell the body is wrong.
+            response.body = apply_corruption(corrupt, response.body)
+        self._verify_digest(channel.peer_key, request, response)
         return response, framed
+
+    def _verify_digest(self, key: str, request: Request,
+                       response: Response) -> None:
+        """Reject a 200 body that fails its ``X-DCWS-Digest``.
+
+        The digest covers the whole identity entity, so only full
+        uncompressed 200 bodies are checkable here (inter-server
+        transfers are exactly that); encoded or partial responses pass
+        through for higher layers to verify after decoding.
+        """
+        claimed = response.headers.get(DIGEST_HEADER)
+        if not claimed or response.status != 200 \
+                or request.method == "HEAD" \
+                or response.headers.get("Content-Encoding"):
+            return
+        if not digest_matches(response.body, claimed):
+            with self._lock:
+                self.digest_rejects += 1
+            raise DigestMismatch(key, claimed, body_digest(response.body))
 
     def _take(self, key: str) -> Optional[_Channel]:
         with self._lock:

@@ -22,9 +22,10 @@ from repro.core.naming import (
     is_migrated_path,
 )
 from repro.errors import HTTPError, NamingError
+from repro.faults import apply_corruption
 from repro.html.links import extract_links
 from repro.html.parser import parse_html
-from repro.http.content import gunzip_bytes
+from repro.http.content import DIGEST_HEADER, digest_matches, gunzip_bytes
 from repro.http.messages import Request, Response, parse_response
 from repro.http.urls import URL, parse_url
 from repro.client.walker import FetchOutcome
@@ -124,12 +125,17 @@ def http_fetch(peer: Location, request: Request, *,
     key = f"{peer.host}:{peer.port}"
     if faults is not None:
         faults.on_connect(key)
+    corrupt = None
     with socket.create_connection((peer.host, peer.port), timeout=timeout) as sock:
         if faults is not None:
-            faults.on_exchange(key)
+            corrupt = faults.on_exchange(key)
         sock.sendall(request.serialize())
         response, __ = read_framed_response(
             sock, bytearray(), head_request=request.method == "HEAD")
+    if corrupt is not None:
+        # A seeded ``corrupt`` event is silent by contract: the flipped
+        # byte flows onward and only digest verification can notice.
+        response.body = apply_corruption(corrupt, response.body)
     return response
 
 
@@ -270,14 +276,41 @@ def fetch_url(url: URL, *, timeout: float = 10.0,
             followed += 1
             continue
         wire_size = len(response.body)
+        declared = response.headers.get_int("content-length")
+        if declared is not None and declared != wire_size \
+                and response.status not in _BODYLESS_STATUSES:
+            # The framing layer raises on close-before-complete, but a
+            # buggy or lying server can still hand over fewer (or more)
+            # bytes than Content-Length promised.  Never accept such a
+            # document silently: report it for WalkerStats accounting.
+            return FetchOutcome(status=response.status, size=wire_size,
+                                redirected=redirected, wire_size=wire_size,
+                                replica_fallback=fell_back, short_body=True)
         encoding = (response.headers.get("Content-Encoding", "") or "").lower()
         if encoding == "gzip" and response.body:
             try:
                 response.body = gunzip_bytes(response.body)
             except (OSError, ValueError):
-                return FetchOutcome(status=599, redirected=redirected,
-                                    replica_fallback=fell_back)
+                # Framing was intact but the compressed stream does not
+                # decode — the payload was damaged in transit or storage.
+                return FetchOutcome(status=response.status,
+                                    redirected=redirected,
+                                    wire_size=wire_size,
+                                    replica_fallback=fell_back,
+                                    corrupt_body=True)
             response.headers.remove("Content-Encoding")
+        claimed = response.headers.get(DIGEST_HEADER, "") or ""
+        if claimed and response.status == 200 \
+                and not response.headers.get("Content-Range") \
+                and not digest_matches(response.body, claimed):
+            # The digest covers the identity body, so this check runs
+            # after gzip decode; a mismatch means the entity the server
+            # authored is not the entity we received.
+            return FetchOutcome(status=response.status,
+                                size=len(response.body),
+                                redirected=redirected, wire_size=wire_size,
+                                replica_fallback=fell_back,
+                                corrupt_body=True)
         links, images = _split_links(response)
         if validators is not None and response.ok:
             validators.store(

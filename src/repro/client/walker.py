@@ -61,11 +61,19 @@ class FetchOutcome:
     # recovered by itself — re-deriving the home URL from the migrated
     # path, or rerouting to an advertised sibling replica.
     replica_fallback: bool = False
+    # Integrity verdicts from the transport: the body did not match its
+    # Content-Length (``short_body``), or decoded/verified wrong against
+    # its gzip framing or X-DCWS-Digest (``corrupt_body``).  Either way
+    # the entity is unusable, whatever the status code says.
+    short_body: bool = False
+    corrupt_body: bool = False
 
     @property
     def ok(self) -> bool:
         """Usable entity: a 2xx, or a 304 satisfied from the client's
-        validator cache."""
+        validator cache — and the body passed its integrity checks."""
+        if self.short_body or self.corrupt_body:
+            return False
         return 200 <= self.status < 300 or self.not_modified
 
     @property
@@ -133,6 +141,8 @@ class WalkerStats:
     transport_retries: int = 0
     backoff_time: float = 0.0
     replica_fallbacks: int = 0  # fetches that self-healed via home/replica
+    short_bodies: int = 0       # body length disagreed with Content-Length
+    corrupt_bodies: int = 0     # body failed gzip decode or digest check
 
 
 class RandomWalker:
@@ -244,6 +254,10 @@ class RandomWalker:
                 self.stats.redirects += 1
             if outcome.replica_fallback:
                 self.stats.replica_fallbacks += 1
+            if outcome.short_body:
+                self.stats.short_bodies += 1
+            if outcome.corrupt_body:
+                self.stats.corrupt_bodies += 1
             if outcome.transport_failed:
                 self.stats.transport_failures += 1
                 if transport_tries >= self.max_transport_retries:

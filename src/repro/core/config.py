@@ -221,6 +221,17 @@ class ServerConfig:
     # the single-tier behaviour: overload is handled only at the edge.
     tiered_shedding: bool = True
     shed_pressure: float = 0.9
+    # End-to-end content integrity (repro.server.integrity).  The scrub
+    # daemon runs off the engine tick every ``scrub_interval`` seconds
+    # (0 disables scrubbing), re-hashing at most ``scrub_budget`` hosted
+    # or owned copies per round against their recorded digests — a
+    # resumable cursor walk, so the whole corpus is revisited every
+    # ceil(docs / budget) rounds.  ``integrity_serve_sample`` verifies
+    # one in N cache-miss store reads on the serve path (0 disables the
+    # sampling; scrub and transfer verification are unaffected).
+    scrub_interval: float = 30.0
+    scrub_budget: int = 8
+    integrity_serve_sample: int = 16
     # Write-ahead journal fsync discipline (repro.server.wal).
     # ``always`` fsyncs every append (group-committed); ``interval``
     # defers to the periodic tick, bounding loss to ``wal_fsync_interval``
@@ -272,6 +283,13 @@ class ServerConfig:
             raise ConfigError("gzip_min_bytes must be non-negative")
         if not (0.0 < self.shed_pressure <= 1.0):
             raise ConfigError("shed_pressure must be in (0, 1]")
+        if self.scrub_interval < 0:
+            raise ConfigError("scrub_interval must be non-negative")
+        if self.scrub_budget <= 0:
+            raise ConfigError("scrub_budget must be positive")
+        if self.integrity_serve_sample < 0:
+            raise ConfigError(
+                "integrity_serve_sample must be non-negative")
         if self.wal_fsync not in ("always", "interval", "off"):
             raise ConfigError(f"unknown wal_fsync policy: {self.wal_fsync!r}")
         if self.wal_fsync_interval <= 0:
@@ -322,6 +340,7 @@ class ServerConfig:
             coop_migration_spacing=self.coop_migration_spacing * time_factor,
             replication_repair_interval=(
                 self.replication_repair_interval * time_factor),
+            scrub_interval=self.scrub_interval * time_factor,
             membership_floor=self.membership_floor * time_factor,
             reprobe_interval=self.reprobe_interval * time_factor,
             reprobe_max_interval=self.reprobe_max_interval * time_factor,

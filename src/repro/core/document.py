@@ -61,6 +61,10 @@ class DocumentRecord:
     entry_point: bool = False
     content_type: str = "text/html"
     version: int = 0
+    # Strong content digest of the identity body at ``version``
+    # (``sha256:<hex>``; "" when never computed).  Anchors bit-rot and
+    # in-transit verification — see repro.server.integrity.
+    digest: str = ""
     # Recent-window hits, reset each stats interval; Algorithm 1 selects on
     # these so selection tracks the *current* access pattern.
     window_hits: int = 0

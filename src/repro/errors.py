@@ -44,6 +44,26 @@ class URLError(HTTPError):
     """A URL could not be parsed, joined, or encoded."""
 
 
+class DigestMismatch(HTTPError):
+    """A response body failed verification against its ``X-DCWS-Digest``.
+
+    The bytes were corrupted in transit or at the sender (bit-rot served
+    before the scrubber caught it).  An HTTPError subclass so every
+    transport-failure handler (pool retry, circuit accounting, pull
+    degradation) treats it as a failed exchange — the one divergence is
+    that callers who *know* the distinction count it separately and may
+    retry another holder immediately.
+    """
+
+    def __init__(self, target: str, expected: str, actual: str) -> None:
+        super().__init__(
+            f"digest mismatch from {target}: expected {expected}, "
+            f"got {actual}")
+        self.target = target
+        self.expected = expected
+        self.actual = actual
+
+
 class HTMLParseError(ReproError):
     """The HTML tokenizer/parser met input it cannot recover from.
 

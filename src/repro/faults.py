@@ -63,6 +63,13 @@ KINDS = {
     "disk_error": "disk",           # unreadable file under a healthy path
     "disk_write_error": "disk_write",  # write to disk fails outright
     "torn_write": "disk_write",     # power loss mid-write: a prefix lands
+    # Silent data corruption: one byte of the payload is flipped at a
+    # seeded offset.  Fires at ``exchange`` (in-transit corruption of a
+    # response body) by default; with ``site="disk"`` it models bit-rot
+    # on a stored document instead.  Never raises — the corrupted bytes
+    # flow onward, which is the whole point: only digest verification
+    # (repro.server.integrity) can catch it.
+    "corrupt": "exchange",
 }
 
 SITES = ("connect", "exchange", "disk", "disk_write")
@@ -138,6 +145,26 @@ class FaultEvent:
     kind: str
     target: str     # peer "host:port" or document name
     delay: float = 0.0
+    # ``corrupt`` only: seeded byte offset of the flip, reduced modulo
+    # the payload length at the application site — one seed flips the
+    # same byte whether the payload crosses a socket or sits on disk.
+    offset: int = 0
+
+
+def apply_corruption(event: FaultEvent, data: bytes) -> bytes:
+    """Flip one byte of *data* at the event's seeded offset.
+
+    The offset is reduced modulo the payload length and the byte XORed
+    with 0xFF, so the flip is deterministic for (seed, payload length),
+    always changes the bytes, and is identical whichever transport the
+    payload crosses.  Empty payloads pass through untouched (nothing to
+    corrupt, and digests of empty bodies stay consistent).
+    """
+    if event.kind != "corrupt" or not data:
+        return data
+    corrupted = bytearray(data)
+    corrupted[event.offset % len(data)] ^= 0xFF
+    return bytes(corrupted)
 
 
 class FaultPlan:
@@ -202,21 +229,27 @@ class FaultPlan:
                 delay = rule.delay
                 if rule.kind == "delay" and rule.jitter > 0.0:
                     delay += self._rng.uniform(0.0, rule.jitter)
-                return self._record(site, rule.kind, target, delay)
+                offset = 0
+                if rule.kind == "corrupt":
+                    offset = self._rng.randrange(1 << 20)
+                return self._record(site, rule.kind, target, delay,
+                                    offset=offset)
         return None
 
     def _record(self, site: str, kind: str, target: str,
-                delay: float) -> FaultEvent:
+                delay: float, offset: int = 0) -> FaultEvent:
         event = FaultEvent(index=len(self.injected), site=site, kind=kind,
-                           target=target, delay=delay)
+                           target=target, delay=delay, offset=offset)
         self.injected.append(event)
         return event
 
-    def schedule(self) -> List[Tuple[int, str, str, str]]:
+    def schedule(self) -> List[Tuple[int, str, str, str, int]]:
         """The injection schedule as comparable tuples (determinism
         checks; ``delay`` is excluded so jittered schedules from equal
-        seeds still compare equal on identity, not float formatting)."""
-        return [(e.index, e.site, e.kind, e.target) for e in self.injected]
+        seeds still compare equal on identity, not float formatting —
+        ``offset`` is an exact int, so it stays: same seed, same flips)."""
+        return [(e.index, e.site, e.kind, e.target, e.offset)
+                for e in self.injected]
 
     # ------------------------------------------------------------------
     # Runtime partition control (chaos harness convenience)
@@ -240,15 +273,29 @@ class FaultPlan:
         """Called before opening a connection to *peer*."""
         self._apply(self.decide("connect", peer), peer)
 
-    def on_exchange(self, peer: str) -> None:
-        """Called before a request/response exchange with *peer*."""
-        self._apply(self.decide("exchange", peer), peer)
+    def on_exchange(self, peer: str) -> Optional[FaultEvent]:
+        """Called before a request/response exchange with *peer*.
 
-    def on_disk_read(self, name: str) -> None:
-        """Called before reading *name*'s bytes from a disk store."""
+        Raises (or sleeps) for every kind except ``corrupt``, which is
+        *returned*: the caller must run :func:`apply_corruption` over the
+        response body it reads — corruption is silent by definition, so
+        the transport cannot raise it."""
+        event = self.decide("exchange", peer)
+        if event is not None and event.kind == "corrupt":
+            return event
+        self._apply(event, peer)
+        return None
+
+    def on_disk_read(self, name: str) -> Optional[FaultEvent]:
+        """Called before reading *name*'s bytes from a disk store.
+
+        Same contract as :meth:`on_exchange`: a ``corrupt`` event is
+        returned for the store to apply to the bytes it reads; every
+        other disk fault raises."""
         event = self.decide("disk", name)
-        if event is not None:
-            raise InjectedDiskError(f"injected disk-read error: {name}")
+        if event is None or event.kind == "corrupt":
+            return event
+        raise InjectedDiskError(f"injected disk-read error: {name}")
 
     def check_disk_write(self, name: str) -> Optional[FaultEvent]:
         """Called before writing *name*'s bytes durably.
@@ -268,7 +315,7 @@ class FaultPlan:
         return event
 
     def _apply(self, event: Optional[FaultEvent], target: str) -> None:
-        if event is None:
+        if event is None or event.kind == "corrupt":
             return
         if event.kind == "delay":
             self._sleep(event.delay)

@@ -19,11 +19,23 @@ deterministic tests and simulations).
 from __future__ import annotations
 
 import gzip as _gzip
+import hashlib
 import zlib
 from email.utils import formatdate, parsedate_to_datetime
 from typing import Optional, Tuple
 
 from repro.http.headers import Headers
+
+#: Header carrying the strong content digest of the *identity* body on
+#: every inter-server and client-facing 200 response.  Receivers verify
+#: the decoded (identity) bytes against it; partial (206) responses never
+#: carry it because the digest covers the whole entity.
+DIGEST_HEADER = "X-DCWS-Digest"
+
+#: Header a co-op attaches when notifying the home that its hosted copy
+#: was quarantined (scrub or serve-path mismatch) — the home drops the
+#: holder and re-replicates from a verified copy.
+QUARANTINE_HEADER = "X-DCWS-Quarantined"
 
 #: 1999-01-01T00:00:00Z — the paper's era, and version 0's Last-Modified.
 DCWS_EPOCH = 915148800
@@ -45,6 +57,34 @@ _COMPRESSIBLE_TYPES = frozenset({
 #: Sentinel returned by :func:`parse_range` when the range is syntactically
 #: valid but lies wholly outside the entity (RFC 7233: answer 416).
 RANGE_UNSATISFIABLE = object()
+
+
+# ----------------------------------------------------------------------
+# Content digests (end-to-end integrity)
+# ----------------------------------------------------------------------
+
+def body_digest(data: bytes) -> str:
+    """The strong content digest of an identity body.
+
+    ``sha256:<hex>`` — self-describing so the algorithm can rotate without
+    ambiguity in journals and snapshots.  The digest always covers the
+    *identity* (uncompressed) bytes; gzip variants and range slices are
+    derived renderings of the same entity and share its digest.
+    """
+    return "sha256:" + hashlib.sha256(data).hexdigest()
+
+
+def digest_matches(data: bytes, digest: str) -> bool:
+    """Do *data*'s bytes hash to *digest*?  Unknown digest schemes (a
+    future algorithm rotation talking to an old node) verify as True —
+    integrity checking must fail open across versions, not reject every
+    body."""
+    if not digest:
+        return True
+    scheme, _, expected = digest.partition(":")
+    if scheme != "sha256" or not expected:
+        return True
+    return hashlib.sha256(data).hexdigest() == expected
 
 
 # ----------------------------------------------------------------------

@@ -17,6 +17,8 @@ A DCWS server answers four plain-text administrative endpoints:
 - ``/~dcws/membership`` — the adaptive membership table: per-peer
   alive/suspect/dead/forgotten state, φ suspicion, RTT estimates, and
   the rediscovery (re-probe) schedule;
+- ``/~dcws/integrity`` — the content-integrity view: scrub schedule and
+  cursor, corruption/quarantine counters, and every active quarantine;
 - ``/~dcws/health`` — liveness + readiness probe.  Unlike the other
   endpoints this one is answered by the engine *before* any accounting
   (no request counter, no CPS/BPS metrics, no entry gate), so load
@@ -330,6 +332,58 @@ def render_replication(engine) -> str:
     return "\n".join(lines) + "\n"
 
 
+def render_integrity(engine) -> str:
+    """The content-integrity view (``/~dcws/integrity``).
+
+    Scrub schedule and cursor position, the lifetime detection counters
+    the chaos gates assert on, and every active quarantine with how it
+    was caught — the operator's answer to "is anything silently wrong
+    and what is being done about it".
+    """
+    manager = getattr(engine, "integrity", None)
+    if manager is None:
+        return "integrity: not configured\n"
+    now = getattr(engine, "_admin_now", 0.0)
+    info = manager.describe()
+    if info["scrub_enabled"]:
+        schedule = (f"every {info['scrub_interval']:g}s, "
+                    f"{info['scrub_budget']} docs/round")
+    else:
+        schedule = "disabled"
+    sample = int(info["serve_sample"])
+    sample_text = f"1 in {sample}" if sample > 0 else "disabled"
+    lines: List[str] = [
+        f"scrub schedule          {schedule}",
+        f"  rounds                {info['scrub_rounds']}",
+        f"  documents checked     {info['scrub_checked']}",
+        f"  cursor                {info['scrub_cursor'] or '-'}",
+        f"serve-path sampling     {sample_text}",
+        f"  checks performed      {info['serve_checks']}",
+        f"corruptions detected    {info['corruptions_detected']}",
+        f"quarantines (lifetime)  {info['quarantines']}",
+        f"  active                {info['quarantines_active']}",
+        f"  cleared               {info['quarantines_cleared']}",
+        f"verified pulls rejected {info['pulls_rejected']}",
+        f"bad holders reported    {info['holder_quarantines_reported']}",
+        f"repairs from verified   {info['repairs_from_verified']}",
+        "",
+    ]
+    header = (f"{'Document':<40} {'Kind':>7} {'Reason':>9} {'Age':>9} "
+              f"{'Notified':>8}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    active = manager.active()
+    for record in active:
+        age = f"{max(0.0, now - record.at):.1f}s"
+        notified = ("-" if record.kind != "hosted"
+                    else ("yes" if record.notified else "no"))
+        lines.append(f"{record.key:<40} {record.kind:>7} "
+                     f"{record.reason:>9} {age:>9} {notified:>8}")
+    if not active:
+        lines.append("(nothing quarantined)")
+    return "\n".join(lines) + "\n"
+
+
 def render_membership(engine) -> str:
     """The membership table (``/~dcws/membership``).
 
@@ -395,6 +449,7 @@ ENDPOINTS = {
     "durability": render_durability,
     "replication": render_replication,
     "membership": render_membership,
+    "integrity": render_integrity,
     "workers": render_workers,
     "health": render_health,
 }

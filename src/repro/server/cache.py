@@ -220,6 +220,10 @@ class CachedResponse:
     etag: str = ""
     last_modified: str = ""
     gzip_body: Optional[bytes] = None
+    # Strong digest of the identity body (``sha256:<hex>``), copied from
+    # the document record at fill time and stamped as ``X-DCWS-Digest``
+    # on full responses; "" when the record had none.
+    digest: str = ""
 
 
 class _ResponseShard:

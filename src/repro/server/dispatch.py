@@ -25,7 +25,7 @@ from typing import Optional, TYPE_CHECKING
 
 from repro.client.breaker import BreakerOpenError
 from repro.client.realclient import http_fetch
-from repro.errors import HTTPError
+from repro.errors import DigestMismatch, HTTPError
 from repro.http.messages import Response
 from repro.server.engine import PullFromHome, RegenerateAndServe
 from repro.server.striping import StripedLock
@@ -84,6 +84,7 @@ class BlockingDirectiveMixin:
         transport failure (degrade to 302 back to home)."""
         upstream = None
         home_down = False
+        corrupt = False
         started = time.monotonic()
         try:
             upstream = http_fetch(pull.home, pull.request,
@@ -91,13 +92,20 @@ class BlockingDirectiveMixin:
                                   pool=self.pool)
         except BreakerOpenError:
             home_down = True
+        except DigestMismatch:
+            # The pull body failed its X-DCWS-Digest (and the pool's own
+            # one-shot retry failed too): the home answered, so this is
+            # not silence — the engine counts a rejected pull and 302s
+            # the client to the home instead of feeding death detection.
+            corrupt = True
         except (OSError, HTTPError):
             pass
         finished = time.monotonic()
         rtt = finished - started if upstream is not None else None
         with self._lock:
             reply = self.engine.complete_pull(pull, upstream, finished,
-                                              home_down=home_down, rtt=rtt)
+                                              home_down=home_down, rtt=rtt,
+                                              corrupt=corrupt)
         return reply.response
 
 

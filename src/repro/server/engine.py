@@ -63,9 +63,13 @@ from repro.core.naming import (
 )
 from repro.errors import DocumentNotFound, NamingError
 from repro.http.content import (
+    DIGEST_HEADER,
+    QUARANTINE_HEADER,
     RANGE_UNSATISFIABLE,
     accepts_gzip,
+    body_digest,
     content_range,
+    digest_matches,
     etag_for,
     last_modified_for,
     maybe_gzip,
@@ -101,6 +105,13 @@ from repro.server.admin import ADMIN_PREFIX, HEALTH_PATH
 from repro.server.cache import CachedResponse, CachingStore, ResponseCache
 from repro.server.entrygate import COOKIE_NAME, EntryGate
 from repro.server.filestore import DocumentStore, MemoryStore, guess_content_type
+from repro.server.integrity import (
+    IntegrityManager,
+    KIND_HOME,
+    KIND_HOSTED,
+    REASON_SCRUB,
+    REASON_SERVE,
+)
 from repro.server.replication import ReplicationManager
 from repro.server.striping import ShardVersions
 
@@ -241,6 +252,10 @@ class HostedDocument:
     version: str = ""      # home's version, echoed for 304 validation
     content_type: str = "text/html"
     hits_reported: int = 0  # hits already piggybacked back to the home
+    # Home's content digest of the identity body, claimed on the pull /
+    # validation response and verified before install; "" for legacy
+    # copies pulled from digestless homes.
+    digest: str = ""
 
 
 @dataclass
@@ -352,12 +367,18 @@ class DCWSEngine:
         # and serving; ``targetable`` (strictly alive) governs where new
         # replicas may be placed — a suspect peer keeps its documents
         # but receives no new ones.
+        # End-to-end content integrity: digests, the scrub daemon's
+        # schedule/cursor, and the quarantine table (see
+        # repro.server.integrity).  Wired into replication below so a
+        # quarantined holder is treated exactly like a dead one.
+        self.integrity = IntegrityManager(config)
         self.replication: Optional[ReplicationManager] = None
         if config.replication_k > 1:
             self.replication = ReplicationManager(
                 config, self.graph, self.glt, self.policy,
                 alive=self._peer_live,
                 targetable=self._peer_available,
+                quarantined=self.integrity.holder_quarantined,
                 log=lambda msg: self.log.record(self._clock, "replication",
                                                 detail=msg))
         # Set by hosts that own a pooled transport: per-peer circuit
@@ -478,6 +499,9 @@ class DCWSEngine:
             self.graph.add_document(
                 name, size=len(data), content_type=content_type,
                 entry_point=name in self._entry_points)
+            record = self.graph.find(name)
+            if record is not None:
+                record.digest = body_digest(data)
             if content_type.startswith("text/html"):
                 sources[name] = data
         for name, data in sources.items():
@@ -702,6 +726,11 @@ class DCWSEngine:
         sender = extract_sender(request.headers)
         privileged = (purpose in ("migration-pull", "validation")
                       and self._sender_is_assigned(sender, record))
+        if sender and request.headers.get(QUARANTINE_HEADER):
+            # A peer reports its copy of this document as corrupt (and,
+            # for a re-pull, must not be served its own bad copy back):
+            # drop the holder, repair the group, and point it home.
+            return self._holder_quarantined(request, record, sender, now)
         if self.entry_gate is not None and not record.entry_point \
                 and not sender and not self._gate_passes(request, now):
             return self._gate_bounce(request, now, doc_name=record.name)
@@ -738,6 +767,18 @@ class DCWSEngine:
         reported = request.headers.get_int(HOSTED_HITS_HEADER, 0) or 0
         if reported > 0:
             record.record_hit(reported)
+        if self.integrity.is_quarantined(record.name) \
+                and not (record.dirty and record.is_html
+                         and record.name in self._templates):
+            # Quarantined with no regeneration path to repair it (only a
+            # dirty HTML document regenerates from the in-memory link
+            # template, replacing the corrupt bytes): refuse to serve the
+            # bad copy rather than hand out a body that fails its digest.
+            response = error_response(StatusCode.SERVICE_UNAVAILABLE,
+                                      "content integrity failure")
+            response.headers.set("Retry-After", "5")
+            self.stats.responses_503 += 1
+            return self._finish(request, response, now, doc_name=record.name)
         reconstructed = False
         spliced = False
         if record.dirty and record.is_html:
@@ -814,6 +855,11 @@ class DCWSEngine:
                 response.headers.set("ETag", etag)
                 response.headers.set("Last-Modified", last_modified)
                 response.headers.set(VERSION_HEADER, str(record.version))
+                if record.digest:
+                    # Stamped from the record, not from re-hashing the
+                    # file: in-transit verification must not cost the
+                    # zero-copy path a body read.
+                    response.headers.set(DIGEST_HEADER, record.digest)
                 self.stats.responses_200 += 1
                 return self._finish(request, response, now,
                                     doc_name=record.name,
@@ -823,6 +869,14 @@ class DCWSEngine:
                                          request.method)
         if cached is None:
             data = self.store.get(record.name)
+            # Sampled serve-path integrity check: every Nth cache miss
+            # re-hashes the bytes just read against the recorded digest,
+            # so bit-rot on a document the scrubber has not reached yet
+            # is still caught before the body leaves the server.
+            if record.digest and self.integrity.sample_serve() \
+                    and not digest_matches(data, record.digest):
+                return self._quarantine_home(request, record,
+                                             body_digest(data), now)
             gzip_body = None
             if request.method == "GET" and self.config.gzip_enabled:
                 gzip_body = maybe_gzip(data, record.content_type,
@@ -834,7 +888,8 @@ class DCWSEngine:
                 version=str(record.version),
                 etag=etag,
                 last_modified=last_modified,
-                gzip_body=gzip_body)
+                gzip_body=gzip_body,
+                digest=record.digest)
             self.response_cache.put(record.name, record.version,
                                     request.method, cached)
         response = self._entity_response(request, cached)
@@ -902,7 +957,14 @@ class DCWSEngine:
             response.headers.set("Content-Encoding", "gzip")
             response.headers.set("Content-Length",
                                  str(len(cached.gzip_body)))
+            if cached.digest:
+                # The digest always covers the identity entity; a gzip
+                # recipient verifies after decoding (the pool skips
+                # encoded bodies, the real client gunzips first).
+                response.headers.set(DIGEST_HEADER, cached.digest)
             return response, "gzip"
+        if cached.digest:
+            response.headers.set(DIGEST_HEADER, cached.digest)
         return response, "identity"
 
     def _entity_response(self, request: Request,
@@ -1038,6 +1100,15 @@ class DCWSEngine:
                 self.response_cache.invalidate(key)
                 self.log.record(now, "pull", key=key, reason="missing-bytes")
                 return self._start_pull(request, key, home, original)
+            # Sampled serve-path integrity check, co-op flavor: a hosted
+            # copy that fails its digest is dropped and re-pulled (the
+            # pull carries the quarantine flag so the home repairs the
+            # group), never served corrupt.
+            if hosted.digest and self.integrity.sample_serve() \
+                    and not digest_matches(data, hosted.digest):
+                self._quarantine_hosted(hosted, REASON_SERVE,
+                                        body_digest(data), now)
+                return self._start_pull(request, key, home, original)
             gzip_body = None
             if request.method == "GET" and self.config.gzip_enabled:
                 gzip_body = maybe_gzip(data, hosted.content_type,
@@ -1049,7 +1120,8 @@ class DCWSEngine:
                 version=hosted.version,
                 etag=etag,
                 last_modified=last_modified,
-                gzip_body=gzip_body)
+                gzip_body=gzip_body,
+                digest=hosted.digest)
             if hosted.version:
                 # Never cache versionless copies: two pulls of the same
                 # key could then collide across re-migrations.
@@ -1065,12 +1137,18 @@ class DCWSEngine:
         pull_request = Request(method="GET", target=original)
         self._attach_piggyback(pull_request.headers)
         pull_request.headers.set(PURPOSE_HEADER, "migration-pull")
+        if self.integrity.is_quarantined(key):
+            # Tell the home this pull replaces a quarantined copy, so it
+            # drops us as a holder and repairs the replication group from
+            # a verified copy — never from ours.
+            pull_request.headers.set(QUARANTINE_HEADER, "1")
         return PullFromHome(key=key, home=home, original=original,
                             request=pull_request, client_request=request)
 
     def complete_pull(self, pull: PullFromHome, response: Optional[Response],
                       now: float, *, home_down: bool = False,
-                      rtt: Optional[float] = None) -> EngineReply:
+                      rtt: Optional[float] = None,
+                      corrupt: bool = False) -> EngineReply:
         """Finish a lazy-migration pull: cache the bytes and serve them.
 
         ``response=None`` means the transfer failed; the reply degrades
@@ -1079,8 +1157,14 @@ class DCWSEngine:
         the home's circuit is open, 503 + Retry-After so clients back
         off).  Transport failures feed :attr:`health` exactly like failed
         pings, so a dead home is declared from the data path.
+
+        ``corrupt=True`` means the transport-layer digest check rejected
+        the body (and the pool's one-shot retry failed too): the reply is
+        a 302 to the home, and nothing corrupt is installed or served.
         """
         self._clock = now
+        if corrupt:
+            return self._reject_corrupt_pull(pull, now)
         hosted = self.hosted.get(pull.key)
         if hosted is None:
             # The entry was discarded while the pull was in flight (e.g.
@@ -1099,6 +1183,7 @@ class DCWSEngine:
                 self.hosted.pop(pull.key, None)
                 self.validation.forget(pull.key)
                 self.response_cache.invalidate(pull.key)
+                self._clear_quarantine(pull.key)
             forwarded = redirect_response(
                 response.headers.get("Location", "") or "")
             self.stats.responses_301 += 1
@@ -1121,6 +1206,12 @@ class DCWSEngine:
                                 now, doc_name=pull.key)
         self._absorb_piggyback(response.headers)
         self._peer_success(str(pull.home), now, rtt=rtt)
+        # Belt-and-braces digest verification at install time: the pool
+        # already rejected mismatching bodies in transit, but fault-free
+        # transports (the simulator, a future HTTP client) land here too.
+        claimed = response.headers.get(DIGEST_HEADER, "") or ""
+        if claimed and not digest_matches(response.body, claimed):
+            return self._reject_corrupt_pull(pull, now)
         content_type = response.headers.get("Content-Type") \
             or hosted.content_type
         # Journal before the byte write: a crash in between recovers the
@@ -1131,14 +1222,17 @@ class DCWSEngine:
                           original=pull.original, size=len(response.body),
                           version=response.headers.get(VERSION_HEADER, "")
                           or "",
-                          content_type=content_type)
+                          content_type=content_type,
+                          digest=claimed or body_digest(response.body))
             self.store.put(pull.key, response.body)
             self.response_cache.invalidate(pull.key)
             hosted.fetched = True
             hosted.size = len(response.body)
             hosted.version = response.headers.get(VERSION_HEADER, "") or ""
+            hosted.digest = claimed or body_digest(response.body)
             if content_type:
                 hosted.content_type = content_type
+            self._clear_quarantine(pull.key)
         # Jitter each document's first validation deadline so documents
         # pulled in a burst (e.g. right after a warm start) do not
         # re-validate in synchronized storms that flood the home server.
@@ -1151,33 +1245,50 @@ class DCWSEngine:
         client_response = Response(status=StatusCode.OK, body=response.body)
         client_response.headers.set("Content-Type", hosted.content_type)
         client_response.headers.set("Content-Length", str(len(response.body)))
+        if hosted.digest:
+            client_response.headers.set(DIGEST_HEADER, hosted.digest)
         self.stats.responses_200 += 1
         return self._finish(pull.client_request, client_response, now,
                             doc_name=pull.key)
 
+    def _reject_corrupt_pull(self, pull: PullFromHome,
+                             now: float) -> EngineReply:
+        """A pull whose body failed digest verification: count it, keep
+        nothing, and 302 the client to the home — the home answered, so
+        corruption is not evidence of death and the client can still be
+        served a good copy from the source."""
+        self.integrity.counters.pulls_rejected += 1
+        self.log.record(now, "pull_rejected", key=pull.key,
+                        home=str(pull.home), reason="digest")
+        return self._degrade_pull(pull, None, now, home_down=False,
+                                  corrupt=True)
+
     def _degrade_pull(self, pull: PullFromHome,
                       response: Optional[Response], now: float, *,
-                      home_down: bool) -> EngineReply:
+                      home_down: bool, corrupt: bool = False) -> EngineReply:
         """Answer a failed pull without a 5xx of our own making.
 
         Transport failure with the circuit still closed → 302 back to the
         home (the client may reach it even when we cannot).  Circuit open
         or home answering 5xx → 503 + Retry-After, the paper's overload
         rule: clients back off instead of hammering a known-bad path.
+        A digest-rejected pull (*corrupt*) always takes the redirect arm:
+        the home is alive and holds the canonical copy.
         """
         home_key = str(pull.home)
         status = 0 if response is None else int(response.status)
         self.stats.pulls_degraded += 1
         self.log.record(now, "pull_failed", key=pull.key, status=status,
                         home=home_key)
-        if response is None and not home_down:
+        if response is None and not home_down and not corrupt:
             # A real transport failure we just observed (a breaker-open
-            # fast-fail never reached the wire, so it is not evidence):
+            # fast-fail never reached the wire, so it is not evidence —
+            # and neither is a digest rejection: the home *answered*):
             # count it toward dead-peer declaration like a failed ping.
             # The membership table keeps this path and the ping path in
             # complete_action from double-declaring within one tick.
             self._peer_failure(pull.home, now)
-        if home_down or response is not None:
+        if not corrupt and (home_down or response is not None):
             reply = error_response(StatusCode.SERVICE_UNAVAILABLE,
                                    "document temporarily unavailable")
             reply.headers.set("Retry-After", "1")
@@ -1233,6 +1344,10 @@ class DCWSEngine:
             return None
         template = self._templates.get(record.name)
         if template is None and build:
+            if self.integrity.is_quarantined(record.name):
+                # Never build a template (the regeneration source) from
+                # bytes known to be corrupt.
+                return None
             try:
                 source = self.store.get(record.name).decode("latin-1")
             except DocumentNotFound:
@@ -1248,15 +1363,20 @@ class DCWSEngine:
             self.store.put(record.name, data)
             record.size = len(data)
             record.dirty = False
+            record.digest = body_digest(data)
             # Journal *after* the byte write — the record asserts "this
             # version's links are clean on disk", which is only true once
             # the crash-atomic put returned.  A crash in between replays
             # as still-dirty and simply regenerates again.
             self._journal("regenerate", name=record.name,
-                          version=record.version, size=record.size)
+                          version=record.version, size=record.size,
+                          digest=record.digest)
             # Regeneration changes bytes without bumping the version, so
             # the rendered-response cache must be invalidated explicitly.
             self.response_cache.invalidate(record.name)
+            # Freshly spliced from the canonical template: whatever was
+            # quarantined is repaired by construction.
+            self._clear_quarantine(record.name)
 
     # -- deferred regeneration (threaded host, off the engine lock) ------
 
@@ -1354,6 +1474,9 @@ class DCWSEngine:
             self._last_stats_at = now
         if self.replication is not None and self.replication.due(now):
             self._repair_round(now)
+        if self.integrity.scrub_due(now):
+            self._scrub_round(now)
+        actions.extend(self._quarantine_notifications(now))
         actions.extend(self._validations_due(now))
         if self._last_ping_at is None or \
                 now - self._last_ping_at >= self.config.pinger_interval:
@@ -1510,6 +1633,12 @@ class DCWSEngine:
                 # serving until a later validation reaches the home.
                 self.log.record(now, "validate_stale", key=action.key,
                                 peer=peer_key)
+            if action.kind == "validate" and action.key:
+                # A quarantine notification that never reached the home
+                # is re-armed for the next tick.
+                qrec = self.integrity.get(action.key)
+                if qrec is not None:
+                    qrec.notified = False
             self._peer_failure(action.peer, now)
             return
         self._peer_success(peer_key, now, rtt=rtt)
@@ -1534,15 +1663,29 @@ class DCWSEngine:
         if response.status == StatusCode.NOT_MODIFIED:
             return  # copy is current
         if response.status == StatusCode.OK:
+            claimed = response.headers.get(DIGEST_HEADER, "") or ""
+            if claimed and not digest_matches(response.body, claimed):
+                # A refresh body that fails its own digest never replaces
+                # the installed copy; the old (verified) bytes keep
+                # serving and the next T_val retries.
+                self.integrity.counters.pulls_rejected += 1
+                self.log.record(now, "validate_rejected", key=hosted.key,
+                                reason="digest")
+                return
             version = response.headers.get(VERSION_HEADER, "") \
                 or hosted.version
+            digest = claimed or body_digest(response.body)
             with self.shards.write(hosted.key):
                 self._journal("validate_refreshed", key=hosted.key,
-                              size=len(response.body), version=version)
+                              size=len(response.body), version=version,
+                              digest=digest)
                 self.store.put(hosted.key, response.body)
                 self.response_cache.invalidate(hosted.key)
                 hosted.size = len(response.body)
                 hosted.version = version
+                hosted.digest = digest
+                hosted.fetched = True
+                self._clear_quarantine(hosted.key)
             self.log.record(now, "validate_refreshed", key=hosted.key,
                             bytes=hosted.size)
             return
@@ -1559,12 +1702,201 @@ class DCWSEngine:
                 self.response_cache.invalidate(hosted.key)
                 self.validation.forget(hosted.key)
                 self.hosted.pop(hosted.key, None)
+                self._clear_quarantine(hosted.key)
             return
         # Transient statuses (503 overload, 5xx) keep the copy; the next
         # validation interval retries.
         if response.status >= 500:
             self.log.record(now, "validate_stale", key=hosted.key,
                             status=int(response.status))
+
+    # ------------------------------------------------------------------
+    # Content integrity: scrub daemon, quarantine, repair coordination
+    # ------------------------------------------------------------------
+
+    def _scrub_round(self, now: float) -> None:
+        """One budgeted pass of the background scrubber (engine tick).
+
+        The population is every copy with a recorded digest — home
+        documents (the home keeps the permanent copy wherever the
+        document is assigned) plus fetched hosted copies — minus copies
+        already quarantined.  The manager's cursor picks at most
+        ``scrub_budget`` of them; each is re-read from the *underlying*
+        store and re-hashed.
+        """
+        population: List[str] = []
+        for record in self.graph.documents():
+            if record.digest and not self.integrity.is_quarantined(
+                    record.name):
+                population.append(record.name)
+        for hosted in self.hosted.values():
+            if hosted.fetched and hosted.digest \
+                    and not self.integrity.is_quarantined(hosted.key):
+                population.append(hosted.key)
+        for name in self.integrity.scrub_batch(population, now):
+            self._scrub_one(name, now)
+
+    def _scrub_one(self, name: str, now: float) -> None:
+        """Re-hash one copy against its recorded digest.
+
+        Reads bypass the byte cache (``CachingStore.inner``): the scrub
+        exists to catch disk rot, which a warm cache would mask."""
+        if self.integrity.is_quarantined(name):
+            return  # already caught earlier this round
+        store = self.store.inner if isinstance(self.store, CachingStore) \
+            else self.store
+        try:
+            data = store.get(name)
+        except DocumentNotFound:
+            return  # vanished between population capture and read
+        if is_migrated_path(name):
+            hosted = self.hosted.get(name)
+            if hosted is None or not hosted.digest:
+                return
+            if not digest_matches(data, hosted.digest):
+                self._quarantine_hosted(hosted, REASON_SCRUB,
+                                        body_digest(data), now)
+            return
+        record = self.graph.find(name)
+        if record is None or not record.digest:
+            return
+        if not digest_matches(data, record.digest):
+            self._quarantine_home_record(record, REASON_SCRUB,
+                                         body_digest(data), now)
+
+    def _quarantine_home_record(self, record: DocumentRecord, reason: str,
+                                actual: str, now: float) -> None:
+        """Quarantine a home document's bytes: journal, stop serving the
+        corrupt copy from any cache, and arm regeneration when the
+        in-memory link template (pre-corruption canonical source) can
+        rebuild it."""
+        with self.shards.write(record.name):
+            self.integrity.quarantine(record.name, KIND_HOME, reason,
+                                      record.digest, actual, now)
+            self._journal("quarantine", key=record.name, copy=KIND_HOME,
+                          reason=reason, expected=record.digest,
+                          actual=actual)
+            self.response_cache.invalidate(record.name)
+            if isinstance(self.store, CachingStore):
+                self.store.cache.invalidate(record.name)
+            if record.is_html and record.name in self._templates:
+                # The next serve regenerates from the template; the
+                # commit replaces the corrupt bytes and clears this
+                # quarantine.
+                record.dirty = True
+        self.log.record(now, "quarantine", key=record.name, copy=KIND_HOME,
+                        reason=reason)
+
+    def _quarantine_home(self, request: Request, record: DocumentRecord,
+                         actual: str, now: float) -> EngineReply:
+        """Serve-path detection on a home document: quarantine and answer
+        503 — never the corrupt body.  (A repairable document regenerates
+        on the retry the Retry-After invites.)"""
+        self._quarantine_home_record(record, REASON_SERVE, actual, now)
+        response = error_response(StatusCode.SERVICE_UNAVAILABLE,
+                                  "content integrity failure")
+        response.headers.set("Retry-After", "1")
+        self.stats.responses_503 += 1
+        self.metrics.record_drop(now)
+        return self._finish(request, response, now, doc_name=record.name)
+
+    def _quarantine_hosted(self, hosted: HostedDocument, reason: str,
+                           actual: str, now: float) -> None:
+        """Quarantine a hosted copy: the bytes are deleted and the entry
+        reverts to unfetched, so the copy stops being served immediately
+        (the next request re-pulls, carrying the quarantine flag so the
+        home repairs the replication group from a verified copy)."""
+        with self.shards.write(hosted.key):
+            self.integrity.quarantine(hosted.key, KIND_HOSTED, reason,
+                                      hosted.digest, actual, now)
+            self._journal("quarantine", key=hosted.key, copy=KIND_HOSTED,
+                          reason=reason, expected=hosted.digest,
+                          actual=actual)
+            self.store.delete(hosted.key)
+            self.response_cache.invalidate(hosted.key)
+            if isinstance(self.store, CachingStore):
+                self.store.cache.invalidate(hosted.key)
+            hosted.fetched = False
+            hosted.version = ""
+            hosted.digest = ""
+            hosted.size = 0
+        self.log.record(now, "quarantine", key=hosted.key, copy=KIND_HOSTED,
+                        reason=reason)
+
+    def _clear_quarantine(self, key: str) -> None:
+        """Lift a quarantine after verified bytes replaced the copy (or
+        the copy was dropped entirely).  Journaled so replay converges."""
+        if self.integrity.clear(key) is not None:
+            self._journal("quarantine_cleared", key=key)
+            self.log.record(self._clock, "quarantine_cleared", key=key)
+
+    def _quarantine_notifications(self, now: float) -> List[OutboundAction]:
+        """Tell each home about our quarantined copies of its documents.
+
+        Rides the validation machinery: a ``validate``-kind action whose
+        request carries ``X-DCWS-Quarantined`` (and no version header, so
+        the home cannot answer 304).  The home drops us as a holder and
+        answers 301; :meth:`_finish_validation` then discards the entry
+        and clears the quarantine.  Failures re-arm in
+        :meth:`complete_action` for the next tick.
+        """
+        actions: List[OutboundAction] = []
+        for qrec in self.integrity.pending_notifications():
+            hosted = self.hosted.get(qrec.key)
+            if hosted is None:
+                qrec.notified = True  # entry already gone; nothing to say
+                continue
+            request = Request(method="GET", target=hosted.original)
+            self._attach_piggyback(request.headers)
+            request.headers.set(PURPOSE_HEADER, "validation")
+            request.headers.set(QUARANTINE_HEADER, "1")
+            actions.append(OutboundAction(kind="validate", peer=hosted.home,
+                                          request=request, key=hosted.key))
+            qrec.notified = True
+            self.log.record(now, "quarantine_notify", key=hosted.key,
+                            home=str(hosted.home))
+        return actions
+
+    def _holder_quarantined(self, request: Request, record: DocumentRecord,
+                            sender: str, now: float) -> EngineReply:
+        """Home-side handling of ``X-DCWS-Quarantined``: the sender's copy
+        of *record* is corrupt.  Treat the holder like a dead one — drop
+        it from the replication group (falling back to full revocation
+        when no live replica survives) and repair critical-first from a
+        verified copy; answer 301 so the reporter discards its entry."""
+        holder = self._location_of(sender)
+        path = record.name
+        if holder is not None and holder != self.location \
+                and any(holder == loc for loc in record.locations()) \
+                and self.integrity.report_bad_holder(path, holder):
+            self.log.record(now, "holder_quarantined", name=path,
+                            holder=sender)
+            with self.shards.write_all():
+                decision = self.policy.drop_holder(path, holder)
+                if decision is None:
+                    # Not droppable (no live copy would survive beyond
+                    # home): full revocation — the document comes home.
+                    decision = self.policy.revoke(path)
+            self.stats.decisions.append(decision)
+            if decision.kind == "replica_drop":
+                self.stats.replica_drops += 1
+            else:
+                self.stats.revocations += 1
+            self.integrity.clear_bad_holder(path, holder)
+            if self.replication is not None:
+                # Repair immediately, critical-first; the replacement
+                # holder lazily pulls from copies that passed (or will
+                # pass) digest verification — never from the corrupt one,
+                # which no longer holds the document.
+                repairs_before = self.stats.repairs
+                self._repair_round(now)
+                self.integrity.counters.repairs_from_verified += \
+                    self.stats.repairs - repairs_before
+        target = str(home_url(self.location, path))
+        response = redirect_response(target)
+        self.stats.responses_301 += 1
+        self.metrics.record_redirect(now)
+        return self._finish(request, response, now, doc_name=path)
 
     def _peer_available(self, peer: Location) -> bool:
         """Target-selection predicate: only strictly-ALIVE peers behind a
@@ -1710,12 +2042,14 @@ class DCWSEngine:
         hosted = HostedDocument(key=key, home=home, original=original,
                                 fetched=True, size=len(data),
                                 version=str(version),
-                                content_type=guess_content_type(original))
+                                content_type=guess_content_type(original),
+                                digest=body_digest(data))
         with self.shards.write(key):
             self.hosted[key] = hosted
             self._journal("pull", key=key, home=str(home), original=original,
                           size=len(data), version=str(version),
-                          content_type=hosted.content_type)
+                          content_type=hosted.content_type,
+                          digest=hosted.digest)
             self.store.put(key, data)
             self.response_cache.invalidate(key)
         jitter = (hash(key) % 997) / 997.0
@@ -1737,17 +2071,22 @@ class DCWSEngine:
             # holding a stale copy that compares equal by version.
             self._journal("content_update", name=name,
                           version=record.version + 1, size=len(data),
-                          dirty=record.is_html)
+                          dirty=record.is_html,
+                          digest=body_digest(data))
             self.store.put(name, data)
             self.response_cache.invalidate(name)
             record.size = len(data)
             record.version += 1
+            record.digest = body_digest(data)
             if record.is_html:
                 self.stats.parses += 1
                 self.graph.set_links(name, self._index_html(name, data))
                 record.dirty = True
             else:
                 self._templates.pop(name, None)
+            # Authored bytes replace the copy wholesale: any quarantine
+            # on the old bytes is moot.
+            self._clear_quarantine(name)
         self.log.record(0.0, "content_update", name=name,
                         version=record.version)
 

@@ -18,7 +18,7 @@ from abc import ABC, abstractmethod
 from typing import Dict, Iterator, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.errors import DocumentNotFound
-from repro.faults import InjectedDiskError
+from repro.faults import InjectedDiskError, apply_corruption
 from repro.http.urls import split_path
 
 if TYPE_CHECKING:
@@ -186,13 +186,19 @@ class DiskStore(DocumentStore):
 
     def get(self, name: str) -> bytes:
         path = self._fs_path(name)
+        corrupt = None
         try:
             if self.faults is not None:
-                self.faults.on_disk_read(name)
+                corrupt = self.faults.on_disk_read(name)
             with open(path, "rb") as handle:
-                return handle.read()
+                data = handle.read()
         except OSError:
             raise DocumentNotFound(name) from None
+        if corrupt is not None:
+            # Injected bit-rot: the read "succeeds" with silently flipped
+            # bytes — exactly what scrubbing and digest checks must catch.
+            data = apply_corruption(corrupt, data)
+        return data
 
     def put(self, name: str, data: bytes) -> None:
         path = self._fs_path(name)

@@ -33,7 +33,12 @@ Checked invariants:
 8.  membership agreement: no peer the membership table considers dead
     (or forgotten) still holds any document — a dead holder lingering
     in a serving set means repair forgot to drop it, which is exactly
-    the "two primaries" hazard the rejoin reconciliation must prevent.
+    the "two primaries" hazard the rejoin reconciliation must prevent;
+9.  quarantine agreement: no copy the integrity manager has quarantined
+    is still in any serve table — a quarantined hosted entry must be
+    unfetched (digestless, versionless) and a quarantined home document
+    must have no rendered response cached, or a known-corrupt body
+    could reach a client.
 
 Violations are strings (path + what is wrong), so test failures read as
 a diagnosis rather than a boolean.
@@ -129,6 +134,9 @@ def check_engine(engine: DCWSEngine, *,
 
     # 8. membership agreement: dead peers hold nothing
     violations.extend(_check_membership(engine))
+
+    # 9. quarantined copies are out of every serve table
+    violations.extend(_check_quarantine(engine))
 
     # 5. clean documents carry no stale migrated-form links
     if check_links:
@@ -257,6 +265,40 @@ def _check_membership(engine: DCWSEngine) -> List[str]:
                 violations.append(
                     f"document {record.name} held by {holder}, which "
                     f"membership declares {membership.state(str(holder))}")
+    return violations
+
+
+def _check_quarantine(engine: DCWSEngine) -> List[str]:
+    """Invariant 9: nothing quarantined is servable.
+
+    A quarantined hosted copy must have reverted to unfetched (its bytes
+    deleted, version and digest blanked) and a quarantined home document
+    must have no rendering left in the response cache — both are the
+    mechanical guarantees behind "zero corrupt 200 bodies"."""
+    violations: List[str] = []
+    integrity = getattr(engine, "integrity", None)
+    if integrity is None:
+        return violations
+    for qrec in integrity.active():
+        key = qrec.key
+        if qrec.kind == "hosted":
+            entry = engine.hosted.get(key)
+            if entry is not None and entry.fetched:
+                violations.append(
+                    f"quarantined hosted entry {key} is still marked "
+                    f"fetched (servable)")
+            if entry is not None and (entry.version or entry.digest):
+                violations.append(
+                    f"quarantined hosted entry {key} still carries "
+                    f"version/digest state")
+            continue
+        record = engine.graph.find(key)
+        if record is not None \
+                and engine.response_cache.get(key, record.version,
+                                              "GET") is not None:
+            violations.append(
+                f"quarantined home document {key} still has a rendered "
+                f"response cached")
     return violations
 
 

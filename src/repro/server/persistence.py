@@ -82,10 +82,14 @@ def snapshot_engine(engine: DCWSEngine, now: float, *,
             "version": record.version,
             "hits": record.hits,
             "dirty": record.dirty,
+            "digest": record.digest,
         }
     hosted = {}
     for key, entry in engine.hosted.items():
-        if not entry.fetched:
+        if not entry.fetched and not engine.integrity.is_quarantined(key):
+            # Unfetched entries re-register lazily — except quarantined
+            # ones, which must survive so the home notification (and the
+            # quarantine itself) is not forgotten by a restart.
             continue
         hosted[key] = {
             "home": str(entry.home),
@@ -94,6 +98,7 @@ def snapshot_engine(engine: DCWSEngine, now: float, *,
             "hits": entry.hits,
             "version": entry.version,
             "content_type": entry.content_type,
+            "digest": entry.digest,
             "last_validated": engine.validation.last_serviced(key),
         }
     migrations = {}
@@ -123,6 +128,8 @@ def snapshot_engine(engine: DCWSEngine, now: float, *,
         "glt": glt,
         # Non-alive membership rows only; absent peers restore as alive.
         "membership": engine.membership.snapshot(),
+        # Active quarantine records (content-integrity subsystem).
+        "integrity": engine.integrity.snapshot(),
     }
     data[_CHECKSUM_KEY] = _payload_checksum(data)
     return data
@@ -208,6 +215,13 @@ def restore_engine(engine: DCWSEngine, snapshot: Dict[str, Any],
         record.version = int(saved["version"])
         record.hits = int(saved["hits"])
         record.dirty = bool(saved["dirty"])
+        # The snapshot carries the digest of the *authored* bytes; when
+        # present it overrides the one initialize() computed from disk,
+        # so rot that happened while the server was down is caught by
+        # the first scrub instead of being blessed at startup.
+        saved_digest = str(saved.get("digest", ""))
+        if saved_digest:
+            record.digest = saved_digest
         restored += 1
     for name, saved in snapshot.get("migrations", {}).items():
         if name not in engine.graph:
@@ -231,6 +245,7 @@ def restore_engine(engine: DCWSEngine, snapshot: Dict[str, Any],
             size=int(saved["size"]) if fetched else 0,
             hits=int(saved["hits"]),
             version=str(saved["version"]) if fetched else "",
+            digest=str(saved.get("digest", "")) if fetched else "",
             content_type=saved.get("content_type")
             or guess_content_type(saved["original"]))
         engine.hosted[key] = entry
@@ -251,6 +266,13 @@ def restore_engine(engine: DCWSEngine, snapshot: Dict[str, Any],
     for row in snapshot.get("membership", []):
         _install_membership(engine, str(row.get("peer", "")),
                             str(row.get("state", "")), now)
+    engine.integrity.restore(snapshot.get("integrity", []))
+    for entry in snapshot.get("integrity", []):
+        if entry.get("kind") == "home":
+            # A restored home quarantine must not regenerate from a
+            # template initialize() built out of the (possibly corrupt)
+            # disk bytes; the quarantine then holds until re-authored.
+            engine._templates.pop(str(entry.get("key", "")), None)
     return restored
 
 
@@ -372,7 +394,11 @@ def apply_record(engine: DCWSEngine, record: JournalRecord) -> None:
             # copy might be an older complete pull.  A blank version
             # makes the first validation an unconditional refresh
             # instead of a 304 that would pin a stale copy forever.
+            # The digest is dropped for the same reason: claiming the
+            # journaled digest for bytes that may belong to an older
+            # pull would quarantine a legitimately stale copy.
             version="",
+            digest="",
             content_type=str(fields.get("content_type", ""))
             or guess_content_type(original))
         existing = engine.hosted.get(key)
@@ -389,6 +415,7 @@ def apply_record(engine: DCWSEngine, record: JournalRecord) -> None:
         engine.validation.forget(key)
         engine.response_cache.invalidate(key)
         engine.store.delete(key)
+        engine.integrity.clear(key)
         return
     if record.kind == "validate_refreshed":
         key = str(fields["key"])
@@ -397,9 +424,11 @@ def apply_record(engine: DCWSEngine, record: JournalRecord) -> None:
             if key in engine.store:
                 entry.size = int(fields.get("size", entry.size))
                 entry.version = ""  # same staleness argument as "pull"
+                entry.digest = ""
             else:
                 entry.fetched = False
                 entry.version = ""
+                entry.digest = ""
                 entry.size = 0
             engine.validation.restore(key, record.time)
         return
@@ -416,9 +445,42 @@ def apply_record(engine: DCWSEngine, record: JournalRecord) -> None:
         if document is not None and \
                 document.version == int(fields.get("version", -1)):
             document.dirty = False
+            # Journaled *after* the byte write, so the digest names the
+            # bytes that are (or were) on disk: installing it lets the
+            # scrub catch rot that happened while the server was down.
+            # ("content_update" replay deliberately does NOT install its
+            # digest — that record precedes the write, and the crash may
+            # have left the previous, legitimate bytes on disk.)
+            digest = str(fields.get("digest", ""))
+            if digest:
+                document.digest = digest
         return
     if record.kind == "glt_row":
         engine.glt.update_own(float(fields.get("metric", 0.0)), record.time)
+        return
+    if record.kind == "quarantine":
+        key = str(fields["key"])
+        copy_kind = str(fields.get("copy", "home"))
+        engine.integrity.quarantine(
+            key, copy_kind, str(fields.get("reason", "scrub")),
+            str(fields.get("expected", "")), str(fields.get("actual", "")),
+            record.time)
+        if copy_kind == "hosted":
+            entry = engine.hosted.get(key)
+            if entry is not None:
+                entry.fetched = False
+                entry.version = ""
+                entry.digest = ""
+                entry.size = 0
+            engine.store.delete(key)
+        else:
+            # Never regenerate from a template built out of the corrupt
+            # disk bytes at initialize time.
+            engine._templates.pop(key, None)
+        engine.response_cache.invalidate(key)
+        return
+    if record.kind == "quarantine_cleared":
+        engine.integrity.clear(str(fields["key"]))
         return
     if record.kind == "membership":
         # Membership transitions journal the *resulting* state, so any

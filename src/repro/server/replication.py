@@ -95,12 +95,19 @@ class ReplicationManager:
                  glt: GlobalLoadTable, policy: MigrationPolicy, *,
                  alive: Optional[Callable[[Location], bool]] = None,
                  targetable: Optional[Callable[[Location], bool]] = None,
+                 quarantined: Optional[
+                     Callable[[str, Location], bool]] = None,
                  log: Optional[Callable[[str], None]] = None) -> None:
         self.config = config
         self.graph = graph
         self.glt = glt
         self.policy = policy
         self._alive = alive or (lambda _loc: True)
+        # A holder whose copy of a document is quarantined (reported
+        # corrupt) is treated exactly like a dead one: dropped by the
+        # repair loop, never picked for serving, and the group repaired
+        # critical-first from a verified copy.
+        self._quarantined = quarantined or (lambda _name, _loc: False)
         # Placement is stricter than custody: ``alive`` (not declared
         # dead) keeps holders serving, ``targetable`` (strictly alive in
         # membership terms — not even *suspect*) gates where the repair
@@ -190,7 +197,8 @@ class ReplicationManager:
             # logical: home always keeps the permanent copy, so no bytes
             # need to move for the survivors to keep serving.
             for dead in sorted(document.locations(), key=str):
-                if self._alive(dead):
+                if self._alive(dead) and \
+                        not self._quarantined(name, dead):
                     continue
                 dropped = self.policy.drop_holder(name, dead)
                 if dropped is not None:
@@ -218,7 +226,8 @@ class ReplicationManager:
 
     def _live_holders(self, document: DocumentRecord) -> List[Location]:
         return [loc for loc in sorted(document.locations(), key=str)
-                if loc != self.graph.home and self._alive(loc)]
+                if loc != self.graph.home and self._alive(loc)
+                and not self._quarantined(document.name, loc)]
 
     def _unavailable_peers(self) -> List[Location]:
         """Peers excluded from repair *placement* — the stricter
@@ -255,7 +264,8 @@ class ReplicationManager:
         fallback handles the rest.
         """
         holders = sorted(record.locations(), key=str)
-        live = [loc for loc in holders if self._alive(loc)]
+        live = [loc for loc in holders if self._alive(loc)
+                and not self._quarantined(record.name, loc)]
         candidates = live or holders
         if len(candidates) == 1:
             return candidates[0]

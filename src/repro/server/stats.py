@@ -75,6 +75,17 @@ class ClusterSample:
     membership_reprobe_backlog: int = 0
     reconciliation_drops: int = 0
     reconciliation_reregistrations: int = 0
+    # Content integrity, summed across engines: scrub-loop progress
+    # (rounds run and documents re-hashed so far), lifetime corruption
+    # detections, quarantines currently in force, replica repairs made
+    # from a verified copy after a quarantine, and inter-server pulls
+    # rejected because the body failed its X-DCWS-Digest check.
+    integrity_scrub_rounds: int = 0
+    integrity_scrub_checked: int = 0
+    integrity_corruptions_detected: int = 0
+    integrity_quarantines_active: int = 0
+    integrity_repairs_from_verified: int = 0
+    integrity_pulls_rejected: int = 0
     # Multi-process front end: requests/second per worker process, keyed
     # by worker index ("0", "1", ...).  Empty in single-process runs.
     per_worker_rps: Dict[str, float] = field(default_factory=dict)
@@ -129,6 +140,12 @@ def sample_cluster(now: float, engines: Iterable[DCWSEngine], *,
     membership_backlog = 0
     reconciliation_drops = 0
     reconciliation_reregs = 0
+    scrub_rounds = 0
+    scrub_checked = 0
+    corruptions_detected = 0
+    quarantines_active = 0
+    repairs_from_verified = 0
+    pulls_rejected = 0
     per_server: Dict[str, float] = {}
     for engine in engines:
         cps = engine.metrics.cps(now)
@@ -178,6 +195,15 @@ def sample_cluster(now: float, engines: Iterable[DCWSEngine], *,
             reconciliation_drops += membership.counters.reconcile_drops
             reconciliation_reregs += \
                 membership.counters.reconcile_reregistrations
+        integrity = getattr(engine, "integrity", None)
+        if integrity is not None:
+            scrub_rounds += integrity.counters.scrub_rounds
+            scrub_checked += integrity.counters.scrub_checked
+            corruptions_detected += integrity.counters.corruptions_detected
+            quarantines_active += len(integrity.active())
+            repairs_from_verified += \
+                integrity.counters.repairs_from_verified
+            pulls_rejected += integrity.counters.pulls_rejected
         per_server[str(engine.location)] = cps
     return ClusterSample(time=now, cps=total_cps, bps=total_bps,
                          drops_per_second=total_drops,
@@ -212,6 +238,12 @@ def sample_cluster(now: float, engines: Iterable[DCWSEngine], *,
                          membership_reprobe_backlog=membership_backlog,
                          reconciliation_drops=reconciliation_drops,
                          reconciliation_reregistrations=reconciliation_reregs,
+                         integrity_scrub_rounds=scrub_rounds,
+                         integrity_scrub_checked=scrub_checked,
+                         integrity_corruptions_detected=corruptions_detected,
+                         integrity_quarantines_active=quarantines_active,
+                         integrity_repairs_from_verified=repairs_from_verified,
+                         integrity_pulls_rejected=pulls_rejected,
                          per_worker_rps=dict(worker_rps or {}))
 
 

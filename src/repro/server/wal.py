@@ -64,6 +64,7 @@ RECORD_KINDS = (
     "migrate", "remigrate", "revoke", "replicate",
     "pull", "hosted_dropped", "validate_refreshed",
     "content_update", "regenerate", "glt_row",
+    "quarantine", "quarantine_cleared",
 )
 
 FSYNC_POLICIES = ("always", "interval", "off")

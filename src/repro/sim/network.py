@@ -190,6 +190,12 @@ class FaultyTransport:
             return None, 0.0
         if event.kind == "delay":
             return None, event.delay
+        if event.kind == "corrupt":
+            # Silent corruption: the transfer proceeds — the simulator
+            # moves no real bytes, but consuming the event here keeps the
+            # seeded schedule (and flip offsets) aligned with the socket
+            # transports.
+            return None, 0.0
         if event.kind == "blackhole":
             return self.request_timeout, 0.0
         return self.link_latency, 0.0

@@ -671,6 +671,168 @@ class TestFalseDeathRediscovery:
             reset_replica_failures()
 
 
+class TestCorruptionQuarantine:
+    """Scenario 7: one holder of a k=2 group silently rots mid-crawl.
+
+    The integrity-subsystem gate: a byte flip in one holder's store must
+    be *detected* within a scrub period, the copy *quarantined* (and
+    journaled via the event log), and the group *repaired* from a
+    verified copy — while no client ever receives a corrupt 200 body
+    (every fetch_url outcome re-verifies X-DCWS-Digest client-side).
+    Parametrized over three walker-seed offsets: the result must not
+    depend on crawl interleaving.
+    """
+
+    @pytest.mark.parametrize("seed_offset", [0, 1, 2])
+    def test_byte_flip_quarantined_and_repaired(self, seed_offset):
+        reset_replica_failures()
+        home_port = free_port()
+        coop_ports = [free_port() for __ in range(3)]
+        # ping_failure_limit is generous: nobody dies in this scenario,
+        # and a spurious load-induced death would drop the victim's copy
+        # through the membership path before the scrubber could see it.
+        config = ServerConfig(stats_interval=0.3, pinger_interval=0.3,
+                              ping_failure_limit=6,
+                              validation_interval=60.0,
+                              breaker_reset_timeout=0.2,
+                              replication_k=2, max_replicas=2,
+                              scrub_interval=0.3, scrub_budget=16,
+                              integrity_serve_sample=1)
+        home_loc = Location("127.0.0.1", home_port)
+        coop_locs = [Location("127.0.0.1", p) for p in coop_ports]
+        home_engine = DCWSEngine(home_loc, config, MemoryStore(SITE),
+                                 entry_points=["/index.html"],
+                                 peers=coop_locs)
+        home = ThreadedDCWSServer(home_engine, tick_period=0.1)
+        coops = [ThreadedDCWSServer(
+            DCWSEngine(loc, config, MemoryStore(), peers=[home_loc]),
+            tick_period=0.1) for loc in coop_locs]
+        victim = coops[0]
+        key_d = f"/~migrate/127.0.0.1/{home_port}/d.html"
+        try:
+            for coop in coops:
+                coop.start()
+            home.start()
+            with home._lock:
+                home.engine.policy.force_migrate("/d.html", coop_locs[0],
+                                                 time.monotonic())
+            wait_until(
+                lambda: len(home.engine.graph.get("/d.html").replicas) == 1,
+                10.0, "repair daemon never topped the group up to k=2")
+            replica = next(iter(home.engine.graph.get("/d.html").replicas))
+            for holder in (coop_locs[0], replica):
+                assert http_fetch(holder,
+                                  Request("GET", key_d)).status == 200
+
+            outcomes = []
+            outcomes_lock = threading.Lock()
+
+            def recording_fetch(url):
+                outcome = fetch_url(url, timeout=2.0)
+                with outcomes_lock:
+                    outcomes.append(outcome)
+                return outcome
+
+            threads = []
+
+            def one(seed: int) -> None:
+                walker = RandomWalker(
+                    [f"http://127.0.0.1:{home_port}/index.html"],
+                    recording_fetch,
+                    seed=SEED + 10 * seed_offset + seed,
+                    sleep=capped_sleep, min_steps=2, max_steps=4,
+                    max_transport_retries=2)
+                walker.run(sequences=10)
+
+            for i in range(3):
+                thread = threading.Thread(target=one, args=(i,), daemon=True)
+                thread.start()
+                threads.append(thread)
+            time.sleep(0.3)
+
+            # The silent byte flip: rot the victim's stored copy without
+            # touching its recorded digest (exactly what a bad disk does).
+            with victim._lock:
+                data = victim.engine.store.get(key_d)
+                index = len(data) // 2
+                victim.engine.store.put(
+                    key_d,
+                    data[:index] + bytes([data[index] ^ 0xFF])
+                    + data[index + 1:])
+
+            # Detected within a scrub period and quarantined + journaled.
+            # (Lifetime counters, not the live table: the full detect ->
+            # notify -> repair -> clear pipeline can finish between two
+            # polls of this loop.)
+            wait_until(
+                lambda: victim.engine.log.count("quarantine") >= 1,
+                10.0, "victim never quarantined its rotted copy")
+            assert victim.engine.integrity.counters \
+                .corruptions_detected >= 1
+            event = victim.engine.log.last("quarantine")
+            assert event is not None \
+                and event.fields["reason"] in ("scrub", "serve")
+
+            # The home hears about it, drops the holder, and repairs the
+            # group back to two live verified holders.  (Placement is the
+            # policy's business: the victim may legitimately be re-picked
+            # — it then re-pulls verified bytes, which is a repair too.)
+            wait_until(
+                lambda: home.engine.integrity.counters
+                .holder_quarantines_reported >= 1,
+                10.0, "home was never told about the quarantined holder")
+            assert home.engine.log.count("holder_quarantined") >= 1
+            wait_until(
+                lambda: len(home.engine.graph.get("/d.html").locations())
+                == 2,
+                10.0, "group never repaired back to two live holders")
+            # The quarantine lifts once the corrupt copy is dropped (or
+            # replaced by a verified re-pull) — it never lingers.
+            wait_until(
+                lambda: not victim.engine.integrity.is_quarantined(key_d),
+                10.0, "victim quarantine never cleared after repair")
+
+            for thread in threads:
+                thread.join(timeout=30)
+
+            with home._lock:
+                assert home.engine.stats.replica_drops \
+                    + home.engine.stats.revocations >= 1
+
+            # Zero corrupt 200 bodies across the whole storm: every body
+            # the walkers accepted verified against its digest, and none
+            # came up short against its Content-Length.
+            with outcomes_lock:
+                assert outcomes, "walkers never completed a fetch"
+                assert not any(o.corrupt_body for o in outcomes), \
+                    f"client saw a corrupt 200 body (seed={SEED})"
+                assert not any(o.short_body for o in outcomes), \
+                    f"client saw a short body (seed={SEED})"
+                assert 404 not in [o.status for o in outcomes], \
+                    f"saw a 404 (seed={SEED})"
+
+            # Post-recovery: every document serves verified bytes and
+            # fsck invariant 9 holds on every engine (no quarantined
+            # entry in any serve table).
+            for __ in range(3):
+                for name in SITE:
+                    outcome = fetch_url(
+                        URL("127.0.0.1", home_port, name), timeout=2.0)
+                    assert outcome.status == 200, \
+                        f"{name} -> {outcome.status} (seed={SEED})"
+                    assert not outcome.corrupt_body
+            with home._lock:
+                assert_clean(home.engine)
+            for coop in coops:
+                with coop._lock:
+                    assert_clean(coop.engine)
+        finally:
+            home.stop()
+            for coop in coops:
+                coop.stop()
+            reset_replica_failures()
+
+
 class TestWorkerCrash:
     """Scenario 4: one multi-process worker is SIGKILLed under load.
 

@@ -1,0 +1,94 @@
+"""Property tests: the content digest is an invariant of the entity.
+
+The integrity digest (:func:`repro.http.content.body_digest`) names the
+*identity* body of one (document, version).  Whatever route produced the
+bytes — a template splice on the home, the equivalent full parse-tree
+rewrite, a gzip round-trip over the wire — the digest must come out the
+same, or honest copies would quarantine each other.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.html.parser import parse_html
+from repro.html.rewriter import rewrite_html
+from repro.html.template import build_link_template
+from repro.http.content import (body_digest, digest_matches, gunzip_bytes,
+                                gzip_bytes)
+
+from tests.property.test_template_splice import (html_documents,
+                                                 rewrite_mappings)
+
+
+@given(st.binary(max_size=4096))
+@settings(max_examples=150)
+def test_gzip_round_trip_preserves_digest(payload):
+    """Compression is transport encoding: the identity digest the server
+    stamps next to a gzip body must verify after the client inflates."""
+    digest = body_digest(payload)
+    assert digest_matches(gunzip_bytes(gzip_bytes(payload)), digest)
+    assert digest.startswith("sha256:")
+
+
+@given(st.binary(min_size=1, max_size=4096))
+@settings(max_examples=100)
+def test_digest_rejects_any_single_byte_flip(data):
+    """The seeded ``corrupt`` fault flips one byte; the digest must never
+    miss it, wherever the flip lands."""
+    digest = body_digest(data)
+    index = len(data) // 2
+    flipped = data[:index] + bytes([data[index] ^ 0xFF]) + data[index + 1:]
+    assert not digest_matches(flipped, digest)
+
+
+@given(html_documents(), st.data())
+@settings(max_examples=100)
+def test_splice_and_full_rewrite_agree_on_digest(source, data):
+    """Regeneration via the splice fast path and via the full
+    tokenize/parse/rewrite pipeline must hash identically — the recorded
+    digest cannot depend on which path rebuilt the document."""
+    template = build_link_template(parse_html(source))
+    values = sorted({span.value.strip() for span in template.spans})
+    mapping = data.draw(rewrite_mappings(values))
+    rewrite = lambda v: mapping.get(v)
+    spliced, __ = template.splice(rewrite)
+    rewritten = rewrite_html(source, rewrite)
+    assert body_digest(spliced.encode("utf-8")) == \
+        body_digest(rewritten.encode("utf-8"))
+
+
+@given(html_documents(), st.data())
+@settings(max_examples=75)
+def test_repeated_splice_reconstruction_is_digest_stable(source, data):
+    """Re-running the same rewrite against the same template yields the
+    same digest: two servers independently regenerating one version agree
+    without exchanging bytes."""
+    template = build_link_template(parse_html(source))
+    values = sorted({span.value.strip() for span in template.spans})
+    mapping = data.draw(rewrite_mappings(values))
+    rewrite = lambda v: mapping.get(v)
+    first, __ = template.splice(rewrite)
+    second, __ = build_link_template(parse_html(source)).splice(rewrite)
+    assert body_digest(first.encode("utf-8")) == \
+        body_digest(second.encode("utf-8"))
+
+
+@given(html_documents(), st.data())
+@settings(max_examples=75)
+def test_second_round_splice_keeps_digest_chain(source, data):
+    """Across successive regeneration rounds the digest always matches the
+    bytes the round actually produced (stale digests never survive a
+    rewrite that changed the body)."""
+    template = build_link_template(parse_html(source))
+    values = sorted({span.value.strip() for span in template.spans})
+    first = data.draw(rewrite_mappings(values))
+    out1, template = template.splice(lambda v: first.get(v))
+    digest1 = body_digest(out1.encode("utf-8"))
+    assert digest_matches(out1.encode("utf-8"), digest1)
+
+    values2 = sorted({span.value.strip() for span in template.spans})
+    second = data.draw(rewrite_mappings(values2))
+    out2, __ = template.splice(lambda v: second.get(v))
+    digest2 = body_digest(out2.encode("utf-8"))
+    assert digest_matches(out2.encode("utf-8"), digest2)
+    if out1 != out2:
+        assert digest1 != digest2

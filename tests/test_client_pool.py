@@ -222,6 +222,32 @@ def test_injected_reset_on_reused_channel_replayed_for_get(server):
         assert pool.opens == 2
 
 
+def test_injected_corruption_rejected_and_replayed_for_get(server):
+    """A seeded in-transit byte flip fails the X-DCWS-Digest check; the
+    pool rejects the body and replays the GET on a fresh channel, so the
+    caller only ever sees verified bytes."""
+    plan = FaultPlan([FaultRule(kind="corrupt", max_injections=1)], seed=11)
+    with ConnectionPool(faults=plan) as pool:
+        response = get(pool, server)
+        assert response.status == 200
+        assert response.body == SITE["/a.html"]
+        assert pool.digest_rejects == 1
+        assert pool.opens == 2  # corrupt exchange evicted its channel
+        assert [event.kind for event in plan.injected] == ["corrupt"]
+
+
+def test_injected_corruption_exhausts_retry_and_raises(server):
+    """Persistent corruption (every exchange flipped) must surface as an
+    error, not an infinite retry loop or a silently corrupt body."""
+    from repro.errors import DigestMismatch
+
+    plan = FaultPlan([FaultRule(kind="corrupt")], seed=11)
+    with ConnectionPool(faults=plan) as pool:
+        with pytest.raises(DigestMismatch):
+            get(pool, server)
+        assert pool.digest_rejects == 2  # first try + one replay
+
+
 def test_injected_reset_on_reused_channel_raises_for_post(server):
     plan = FaultPlan([FaultRule(kind="reset", skip_first=1)])
     peer = Location("127.0.0.1", server.port)
